@@ -1,0 +1,41 @@
+"""Benchmark fixtures: the full 20-task suite, built once per session.
+
+Benchmarks print the reproduced tables/series to stdout (run with
+``-s`` to see them live) and persist them under benchmarks/output/.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.eval.suite import BabiSuite, SuiteConfig
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def persist(name: str, text: str) -> None:
+    """Print a reproduced table and save it next to the benchmarks."""
+    print("\n" + text)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def full_suite() -> BabiSuite:
+    """All 20 bAbI tasks with a shared vocabulary (the paper's setup)."""
+    return BabiSuite.build(
+        SuiteConfig(
+            task_ids=tuple(range(1, 21)),
+            n_train=150,
+            n_test=50,
+            epochs=30,
+            seed=7,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def task1_system(full_suite):
+    return full_suite.tasks[1]

@@ -1,0 +1,163 @@
+"""Ablation benches: the Section V interface estimate plus the design
+choices DESIGN.md calls out (index ordering, FIFO depth, transfer
+overlap, MIPS baselines)."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import persist
+from repro.eval.experiments import (
+    collect_fpga_artifacts,
+    run_interface_ablation,
+)
+from repro.hw import HwConfig, MannAccelerator
+from repro.mips import AlshMips, ClusteringMips, ExactMips, InferenceThresholding
+from repro.utils.tables import TextTable
+
+
+def test_bench_interface_ablation(benchmark, full_suite):
+    """Paper: ~162x less energy than the GPU with the interface removed."""
+    result = benchmark.pedantic(
+        run_interface_ablation, args=(full_suite,), rounds=1, iterations=1
+    )
+    persist("interface_ablation", result.to_table().render())
+    assert result.without_interface > 2.5 * result.with_interface
+    assert 60.0 < result.without_interface < 450.0
+
+
+def test_bench_index_ordering_ablation(benchmark, full_suite):
+    """Step 3 ablation across the whole suite: ordering must reduce the
+    mean number of comparisons at rho=1.0."""
+
+    def run():
+        totals = {}
+        for ordering in (True, False):
+            comparisons = 0
+            queries = 0
+            for system in full_suite.tasks.values():
+                engine = InferenceThresholding(
+                    system.weights.w_o,
+                    system.threshold_model,
+                    rho=1.0,
+                    use_index_ordering=ordering,
+                )
+                batch = system.test_batch
+                for i in range(len(batch)):
+                    h = system.engine.forward_trace(
+                        batch.stories[i],
+                        batch.questions[i],
+                        int(batch.story_lengths[i]),
+                    ).h_final
+                    comparisons += engine.search(h).comparisons
+                    queries += 1
+            totals[ordering] = comparisons / queries
+        return totals
+
+    totals = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = TextTable(
+        ["index ordering", "mean comparisons"], title="Step 3 ablation"
+    )
+    table.add_row(["silhouette order", f"{totals[True]:.1f}"])
+    table.add_row(["natural order", f"{totals[False]:.1f}"])
+    persist("ordering_ablation", table.render())
+    assert totals[True] < totals[False]
+
+
+def test_bench_transfer_overlap_ablation(benchmark, task1_system):
+    """Overlapping the host stream with compute (the DFA's streaming
+    promise) bounds wall time by max(interface, compute) instead of the
+    sum."""
+    weights = task1_system.weights
+
+    def run():
+        rows = {}
+        for overlap in (False, True):
+            config = HwConfig(
+                frequency_mhz=25.0, overlap_host_transfer=overlap
+            ).with_embed_dim(weights.config.embed_dim)
+            accelerator = MannAccelerator(
+                weights, config, task1_system.threshold_model
+            )
+            rows[overlap] = accelerator.run(task1_system.test_batch)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert rows[True].wall_seconds < rows[False].wall_seconds
+    expected = max(
+        rows[True].interface_seconds, rows[True].compute_seconds
+    )
+    assert rows[True].wall_seconds == pytest.approx(expected)
+
+
+def test_bench_fifo_depth_sensitivity(benchmark, task1_system):
+    """The synchronous per-example protocol should be insensitive to
+    FIFO depth (no long bursts in flight) — an architectural check."""
+    weights = task1_system.weights
+
+    def run():
+        cycles = {}
+        for depth in (2, 16, 64):
+            config = HwConfig(
+                frequency_mhz=25.0, fifo_depth=depth
+            ).with_embed_dim(weights.config.embed_dim)
+            report = MannAccelerator(
+                weights, config, task1_system.threshold_model
+            ).run(task1_system.test_batch)
+            cycles[depth] = report.total_cycles
+        return cycles
+
+    cycles = benchmark.pedantic(run, rounds=1, iterations=1)
+    values = list(cycles.values())
+    spread = (max(values) - min(values)) / min(values)
+    assert spread < 0.02
+
+
+def test_bench_mips_baselines(benchmark, full_suite):
+    """Related-work comparison: ITH vs ALSH vs clustering MIPS."""
+    systems = [full_suite.tasks[t] for t in full_suite.task_ids[:6]]
+
+    def run():
+        rows = []
+        for name, factory in (
+            ("exact", lambda s: ExactMips(s.weights.w_o)),
+            (
+                "ITH rho=1.0",
+                lambda s: InferenceThresholding(
+                    s.weights.w_o, s.threshold_model, rho=1.0
+                ),
+            ),
+            ("ALSH", lambda s: AlshMips(s.weights.w_o, seed=0)),
+            ("clustering", lambda s: ClusteringMips(s.weights.w_o, seed=0)),
+        ):
+            agree = comparisons = total = 0
+            for system in systems:
+                exact = ExactMips(system.weights.w_o)
+                engine = factory(system)
+                batch = system.test_batch
+                for i in range(0, len(batch), 2):
+                    h = system.engine.forward_trace(
+                        batch.stories[i],
+                        batch.questions[i],
+                        int(batch.story_lengths[i]),
+                    ).h_final
+                    reference = exact.search(h)
+                    result = engine.search(h)
+                    agree += int(result.label == reference.label)
+                    comparisons += result.comparisons
+                    total += 1
+            rows.append((name, agree / total, comparisons / total))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = TextTable(
+        ["engine", "agreement", "mean dots"], title="MIPS baselines"
+    )
+    for name, agreement, mean_cmp in rows:
+        table.add_row([name, f"{agreement:.3f}", f"{mean_cmp:.1f}"])
+    persist("mips_baselines", table.render())
+
+    by_name = {name: (agreement, cmp) for name, agreement, cmp in rows}
+    assert by_name["exact"][0] == 1.0
+    assert by_name["ITH rho=1.0"][0] > 0.95
+    # ITH must beat the exact scan on work.
+    assert by_name["ITH rho=1.0"][1] < by_name["exact"][1]

@@ -1,0 +1,67 @@
+"""SEU-sensitivity bench: accuracy vs weight-memory bit-error rate.
+
+Reliability extension on top of the quantization study: flips random
+bits in the fixed-point weight codes (block-RAM soft errors) and
+measures accuracy over increasing error rates, at two precisions.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import persist
+from repro.hw.faults import seu_sensitivity_sweep
+from repro.mann import InferenceEngine
+from repro.mann.quantize import QFormat
+from repro.utils.tables import TextTable
+
+RATES = (0.0, 1e-4, 1e-3, 1e-2)
+
+
+def test_bench_seu_sensitivity(benchmark, full_suite):
+    systems = [full_suite.tasks[t] for t in (1, 6, 15)]
+
+    def run():
+        results = {}
+        for qformat in (QFormat(3, 12), QFormat(3, 4)):
+            accuracies = np.zeros(len(RATES))
+            for system in systems:
+                batch = system.test_batch
+
+                def evaluate(weights, batch=batch):
+                    return InferenceEngine(weights).accuracy(
+                        batch.stories,
+                        batch.questions,
+                        batch.answers,
+                        batch.story_lengths,
+                    )
+
+                sweep = seu_sensitivity_sweep(
+                    system.weights,
+                    evaluate,
+                    qformat=qformat,
+                    bit_error_rates=RATES,
+                    trials=2,
+                )
+                accuracies += np.array([acc for _rate, acc, _f in sweep])
+            results[str(qformat)] = (accuracies / len(systems)).tolist()
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = TextTable(
+        ["bit error rate"] + list(results),
+        title="Mean accuracy vs weight-memory bit-error rate",
+    )
+    for i, rate in enumerate(RATES):
+        table.add_row(
+            [f"{rate:.0e}"] + [f"{results[name][i]:.3f}" for name in results]
+        )
+    persist("seu_sensitivity", table.render())
+
+    for name, accuracies in results.items():
+        # Catastrophic at 1e-2: the model collapses entirely.
+        assert accuracies[-1] < 0.2, name
+        # Degradation is monotone (within per-trial noise): the tiny
+        # models are only ~18k parameters, so even a handful of
+        # high-order-bit flips at 1e-4 costs visible accuracy.
+        assert accuracies[-1] <= accuracies[1] + 0.02, name
+        assert accuracies[1] <= accuracies[0] + 0.02, name

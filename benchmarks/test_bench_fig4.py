@@ -1,0 +1,74 @@
+"""Fig. 4: per-task energy efficiency normalised to the GPU."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import persist
+from repro.eval.experiments import run_fig4
+
+
+@pytest.fixture(scope="module")
+def fig4(full_suite):
+    return run_fig4(full_suite)
+
+
+def test_bench_fig4(benchmark, full_suite):
+    result = benchmark.pedantic(
+        run_fig4, args=(full_suite,), rounds=1, iterations=1
+    )
+    lines = [result.to_table().render(), ""]
+    best = result.best_config_per_task()
+    lines.append(
+        "best configuration per task: "
+        + ", ".join(f"{t}:{best[t]}" for t in result.task_ids)
+    )
+    persist("fig4", "\n".join(lines))
+
+
+class TestFig4PaperShape:
+    def test_fpga_wins_every_task(self, fig4):
+        """Paper: FPGA most energy-efficient across all 20 tasks."""
+        for task_id in fig4.task_ids:
+            fpga_best = max(
+                fig4.series[name][task_id]
+                for name in fig4.series
+                if name.startswith("FPGA")
+            )
+            assert fpga_best > fig4.series["CPU"][task_id]
+            assert fpga_best > 1.0  # > GPU
+
+    def test_ith_increases_margin(self, fig4):
+        """Paper: 'inference thresholding increased the margin'.
+
+        Per task the margin is >= (tasks whose thresholds never fire
+        tie exactly); across the suite it must be strictly positive.
+        """
+        import numpy as np
+
+        for mhz in (25, 100):
+            ith = np.array(
+                [fig4.series[f"FPGA+ITH {mhz} MHz"][t] for t in fig4.task_ids]
+            )
+            plain = np.array(
+                [fig4.series[f"FPGA {mhz} MHz"][t] for t in fig4.task_ids]
+            )
+            assert (ith >= plain - 1e-9).all()
+            assert ith.mean() > plain.mean()
+
+    def test_per_task_spread(self, fig4):
+        """Paper's per-task ratios span 19x-534x; ours must spread too."""
+        values = list(fig4.series["FPGA+ITH 100 MHz"].values())
+        assert max(values) / min(values) > 1.5
+        assert 40.0 < np.mean(values) < 350.0
+
+    def test_cpu_band_per_task(self, fig4):
+        for value in fig4.series["CPU"].values():
+            assert 1.2 < value < 2.6  # paper average ~1.7
+
+    def test_efficiency_magnitude_band(self, fig4):
+        """Every FPGA config should sit in the tens-to-hundreds range."""
+        for name in fig4.series:
+            if not name.startswith("FPGA"):
+                continue
+            for value in fig4.series[name].values():
+                assert 20.0 < value < 600.0, (name, value)

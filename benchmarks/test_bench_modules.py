@@ -1,0 +1,122 @@
+"""Microbenchmarks of the substrates: event simulator throughput, module
+cycle behaviour (Fig. 2a's O(|I|) output scan), training and generation
+speed. These are pytest-benchmark timed runs rather than one-shot
+pedantic calls, since each iteration is fast."""
+
+import numpy as np
+
+from benchmarks.conftest import persist
+from repro.babi.tasks import get_generator
+from repro.hw import HwConfig, MannAccelerator
+from repro.hw.kernel import Environment
+from repro.hw.latency import LatencyParams
+from repro.mann import MemoryNetwork, Trainer
+from repro.mips import ExactMips, InferenceThresholding
+from repro.utils.tables import TextTable
+
+
+def test_bench_event_sim_throughput(benchmark, task1_system):
+    """Examples simulated per second through the full five-module DFA."""
+    weights = task1_system.weights
+    config = HwConfig(frequency_mhz=25.0).with_embed_dim(
+        weights.config.embed_dim
+    )
+    accelerator = MannAccelerator(weights, config, task1_system.threshold_model)
+    batch = task1_system.test_batch
+
+    report = benchmark(accelerator.run, batch)
+    assert report.total_cycles > 0
+
+
+def test_bench_output_scan_is_linear_in_vocab(benchmark):
+    """Fig. 2a: the OUTPUT module's scan is O(|I|)."""
+    lat = LatencyParams(embed_dim=20)
+
+    def scan_cycles():
+        return [lat.output_scan_cycles(v) for v in (50, 100, 200, 400)]
+
+    cycles = benchmark(scan_cycles)
+    diffs = np.diff(cycles)
+    # Doubling the vocabulary doubles the incremental cost.
+    assert diffs[1] == 2 * diffs[0]
+    assert diffs[2] == 2 * diffs[1]
+
+    table = TextTable(["|I|", "cycles"], title="OUTPUT scan cycles vs |I|")
+    for v, c in zip((50, 100, 200, 400), cycles):
+        table.add_row([str(v), str(c)])
+    persist("output_scan_scaling", table.render())
+
+
+def test_bench_mips_query_latency(benchmark, task1_system):
+    """Software-side per-query cost of exact vs thresholded search."""
+    w = task1_system.weights.w_o
+    ith = InferenceThresholding(w, task1_system.threshold_model, rho=1.0)
+    batch = task1_system.test_batch
+    h = task1_system.engine.forward_trace(
+        batch.stories[0], batch.questions[0], int(batch.story_lengths[0])
+    ).h_final
+
+    result = benchmark(ith.search, h)
+    assert result.comparisons <= w.shape[0]
+
+
+def test_bench_exact_mips_query(benchmark, task1_system):
+    w = task1_system.weights.w_o
+    exact = ExactMips(w)
+    batch = task1_system.test_batch
+    h = task1_system.engine.forward_trace(
+        batch.stories[0], batch.questions[0], int(batch.story_lengths[0])
+    ).h_final
+    result = benchmark(exact.search, h)
+    assert result.comparisons == w.shape[0]
+
+
+def test_bench_training_epoch(benchmark, full_suite):
+    """One epoch of MemN2N training on task 1 (numpy autograd)."""
+    system = full_suite.tasks[1]
+    model = MemoryNetwork(system.weights.config)
+    trainer = Trainer(model, seed=0)
+
+    loss = benchmark(trainer.run_epoch, system.train_batch)
+    assert np.isfinite(loss)
+
+
+def test_bench_story_generation(benchmark):
+    """bAbI generator throughput (task 2, the busiest world simulation)."""
+    generator = get_generator(2)
+
+    def make():
+        return generator(np.random.default_rng(0), 50)
+
+    examples = benchmark(make)
+    assert len(examples) == 50
+
+
+def test_bench_golden_inference(benchmark, task1_system):
+    """Golden engine forward pass (the co-simulation reference)."""
+    batch = task1_system.test_batch
+
+    def run():
+        return task1_system.engine.forward_trace(
+            batch.stories[0], batch.questions[0], int(batch.story_lengths[0])
+        )
+
+    trace = benchmark(run)
+    assert trace.prediction is not None
+
+
+def test_bench_kernel_event_rate(benchmark):
+    """Raw discrete-event kernel throughput (events/second)."""
+
+    def run():
+        env = Environment()
+
+        def chain(n):
+            for _ in range(n):
+                yield env.timeout(1)
+
+        env.process(chain(2000))
+        return env.run()
+
+    final = benchmark(run)
+    assert final == 2000

@@ -1,0 +1,74 @@
+"""Quantization extension bench: accuracy vs weight precision.
+
+Reproduces the premise of the paper's ref [10] (quantized MANNs):
+inference accuracy holds at moderate fixed-point precision and
+collapses at very low precision, while model-transfer bytes shrink.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import persist
+from repro.mann import InferenceEngine
+from repro.mann.quantize import QFormat, accuracy_vs_bits
+from repro.utils.tables import TextTable
+
+
+def test_bench_quantization_sweep(benchmark, full_suite):
+    systems = [full_suite.tasks[t] for t in full_suite.task_ids[:8]]
+
+    def evaluate_suite(frac_bits_sweep=(12, 8, 6, 4, 2)):
+        rows = []
+        for frac_bits in frac_bits_sweep:
+            accuracies = []
+            bytes_total = 0
+            for system in systems:
+                batch = system.test_batch
+
+                def evaluate(weights, batch=batch):
+                    return InferenceEngine(weights).accuracy(
+                        batch.stories,
+                        batch.questions,
+                        batch.answers,
+                        batch.story_lengths,
+                    )
+
+                sweep = accuracy_vs_bits(
+                    system.weights, evaluate, frac_bits_sweep=(frac_bits,)
+                )
+                _, accuracy, report = sweep[0]
+                accuracies.append(accuracy)
+                bytes_total += report.quantized_bytes
+            rows.append((frac_bits, float(np.mean(accuracies)), bytes_total))
+        return rows
+
+    rows = benchmark.pedantic(evaluate_suite, rounds=1, iterations=1)
+
+    baseline = float(
+        np.mean(
+            [
+                InferenceEngine(s.weights).accuracy(
+                    s.test_batch.stories,
+                    s.test_batch.questions,
+                    s.test_batch.answers,
+                    s.test_batch.story_lengths,
+                )
+                for s in systems
+            ]
+        )
+    )
+    table = TextTable(
+        ["format", "mean accuracy", "total model bytes"],
+        title=f"Quantization sweep (float64 baseline {baseline:.3f})",
+    )
+    for frac_bits, accuracy, nbytes in rows:
+        table.add_row([str(QFormat(3, frac_bits)), f"{accuracy:.3f}", str(nbytes)])
+    persist("quantization", table.render())
+
+    by_bits = {frac: acc for frac, acc, _ in rows}
+    # Accuracy holds at >= 8 fractional bits and collapses at 2.
+    assert by_bits[12] >= baseline - 0.01
+    assert by_bits[8] >= baseline - 0.03
+    assert by_bits[2] < baseline - 0.05
+    # Bytes shrink monotonically with precision.
+    sizes = [nbytes for _, _, nbytes in rows]
+    assert sizes == sorted(sizes, reverse=True)

@@ -1,0 +1,92 @@
+"""Table I: time, power, speedup and FLOPS/kJ for every configuration.
+
+Regenerates the paper's main table on the 20-task synthetic bAbI suite
+and asserts the shape claims: device ordering, frequency scaling, the
+ITH deltas and the efficiency bands.
+"""
+
+import pytest
+
+from benchmarks.conftest import persist
+from repro.eval.experiments import run_table1
+
+
+@pytest.fixture(scope="module")
+def table1(full_suite):
+    return run_table1(full_suite)
+
+
+def test_bench_table1(benchmark, full_suite):
+    """Benchmark the full Table I pipeline (event sim for 20 tasks x 2)."""
+    result = benchmark.pedantic(
+        run_table1, args=(full_suite,), rounds=1, iterations=1
+    )
+    lines = [result.to_table().render(), ""]
+    lines.append("ITH inference-time reduction (paper: 6-18%, max at 25 MHz):")
+    for mhz in result.frequencies:
+        lines.append(f"  {mhz:5.0f} MHz: {100 * result.ith_time_reduction(mhz):5.1f}%")
+    lines.append(
+        f"accelerator accuracy: plain={result.accuracy_plain:.3f} "
+        f"ith={result.accuracy_ith:.3f}"
+    )
+    persist("table1", "\n".join(lines))
+
+
+class TestTable1PaperShape:
+    """Paper-vs-measured assertions (bands, not absolute numbers)."""
+
+    def test_fpga_speedup_band(self, table1):
+        # Paper: 5.21-7.49x.
+        for mhz in (25, 50, 75, 100):
+            assert 3.5 < table1.row(f"FPGA {mhz} MHz").speedup < 11.0
+
+    def test_fpga_ith_speedup_exceeds_plain(self, table1):
+        for mhz in (25, 50, 75, 100):
+            assert (
+                table1.row(f"FPGA+ITH {mhz} MHz").speedup
+                > table1.row(f"FPGA {mhz} MHz").speedup
+            )
+
+    def test_energy_efficiency_bands(self, table1):
+        # Paper: plain 83.74-126.72x, ITH 107.61-139.75x.
+        plain = [
+            table1.row(f"FPGA {m} MHz").energy_efficiency_vs_gpu
+            for m in (25, 50, 75, 100)
+        ]
+        ith = [
+            table1.row(f"FPGA+ITH {m} MHz").energy_efficiency_vs_gpu
+            for m in (25, 50, 75, 100)
+        ]
+        assert all(50.0 < v < 220.0 for v in plain)
+        assert all(60.0 < v < 250.0 for v in ith)
+        assert all(i > p for i, p in zip(ith, plain))
+
+    def test_cpu_row(self, table1):
+        cpu = table1.row("CPU")
+        assert 0.75 < cpu.speedup < 1.15  # paper 0.94
+        assert 1.3 < cpu.energy_efficiency_vs_gpu < 2.4  # paper 1.70
+
+    def test_power_band(self, table1):
+        # Paper: 14.71-20.53 W across the FPGA rows.
+        for mhz in (25, 50, 75, 100):
+            for label in ("FPGA", "FPGA+ITH"):
+                power = table1.row(f"{label} {mhz} MHz").power_w
+                assert 13.0 < power < 23.0
+
+    def test_ith_time_reduction_band(self, table1):
+        # Paper: 6-18% depending on frequency, monotone in frequency.
+        reductions = [
+            table1.ith_time_reduction(m) for m in (25.0, 50.0, 75.0, 100.0)
+        ]
+        assert 0.04 < reductions[0] < 0.25
+        assert 0.015 < reductions[-1] < 0.12
+        assert reductions == sorted(reductions, reverse=True)
+
+    def test_frequency_scaling_sublinear(self, table1):
+        t25 = table1.row("FPGA 25 MHz").seconds
+        t100 = table1.row("FPGA 100 MHz").seconds
+        # Paper: 43.54 -> 30.28 s (1.44x from a 4x clock).
+        assert 1.2 < t25 / t100 < 2.2
+
+    def test_ith_accuracy_cost_small(self, table1):
+        assert table1.accuracy_ith >= table1.accuracy_plain - 0.02

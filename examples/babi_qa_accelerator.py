@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Full bAbI QA pipeline on the accelerator: Table I and Fig. 4 style.
+
+Builds a multi-task suite with a shared vocabulary (like the paper's
+large output dimension |I|), trains one MANN per task, then reproduces
+the Table I configuration sweep and the per-task Fig. 4 energy
+efficiency series. Pass ``--tasks`` / ``--n-train`` / ``--n-test`` to
+scale the run (defaults keep it under ~2 minutes).
+"""
+
+import argparse
+
+from repro.eval.experiments import (
+    run_fig4,
+    run_interface_ablation,
+    run_table1,
+)
+from repro.eval.suite import BabiSuite, SuiteConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tasks",
+        type=int,
+        nargs="+",
+        default=list(range(1, 21)),
+        help="bAbI task ids to include (default: all 20)",
+    )
+    parser.add_argument("--n-train", type=int, default=150)
+    parser.add_argument("--n-test", type=int, default=50)
+    parser.add_argument("--epochs", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    print(f"Building suite: tasks={args.tasks}")
+    suite = BabiSuite.build(
+        SuiteConfig(
+            task_ids=tuple(args.tasks),
+            n_train=args.n_train,
+            n_test=args.n_test,
+            epochs=args.epochs,
+            seed=args.seed,
+        )
+    )
+    print(
+        f"shared vocabulary |I| = {len(suite.vocab)}, "
+        f"mean test accuracy = {suite.mean_test_accuracy():.3f}\n"
+    )
+    for task_id in suite.task_ids:
+        system = suite.tasks[task_id]
+        print(
+            f"  task {task_id:>2}: test_acc={system.test_accuracy:.3f} "
+            f"mem={system.train.memory_size:>2} "
+            f"epochs={system.train_result.epochs_run}"
+        )
+
+    print("\n" + "=" * 68)
+    table1 = run_table1(suite)
+    print(table1.to_table().render())
+    print(
+        "\nITH inference-time reduction by frequency "
+        "(paper: 6-18%, largest at 25 MHz):"
+    )
+    for mhz in table1.frequencies:
+        print(f"  {mhz:5.0f} MHz: {100 * table1.ith_time_reduction(mhz):5.1f}%")
+    print(
+        f"accelerator accuracy: plain={table1.accuracy_plain:.3f} "
+        f"ith(rho=1.0)={table1.accuracy_ith:.3f}"
+    )
+
+    print("\n" + "=" * 68)
+    fig4 = run_fig4(suite)
+    print(fig4.to_table().render())
+    best = fig4.best_config_per_task()
+    fpga_best = sum(1 for config in best.values() if config.startswith("FPGA"))
+    print(
+        f"\nFPGA configurations are the most energy-efficient on "
+        f"{fpga_best}/{len(best)} tasks"
+    )
+
+    print("\n" + "=" * 68)
+    ablation = run_interface_ablation(suite)
+    print(ablation.to_table().render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Frequency scaling and the host-interface bottleneck (Section V).
+
+Sweeps the fabric clock well beyond the paper's 25-100 MHz range and
+decomposes wall time into the frequency-independent host-interface term
+and the compute term, showing why "the improvement was not linear" and
+what an ideal interface would buy (the paper's ~162x estimate). Also
+sweeps the interface transaction latency as a generalised ablation.
+"""
+
+import argparse
+
+from repro.eval.experiments import collect_fpga_artifacts, run_interface_ablation
+from repro.eval.suite import BabiSuite, SuiteConfig
+from repro.hw import HwConfig
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tasks", type=int, nargs="+", default=[1, 2, 6, 12, 20])
+    parser.add_argument("--n-train", type=int, default=150)
+    parser.add_argument("--n-test", type=int, default=60)
+    args = parser.parse_args()
+
+    suite = BabiSuite.build(
+        SuiteConfig(
+            task_ids=tuple(args.tasks), n_train=args.n_train, n_test=args.n_test
+        )
+    )
+    base = HwConfig()
+    artifacts = collect_fpga_artifacts(suite, base, ith=True, rho=1.0)
+
+    interface_s = sum(a.interface_seconds for a in artifacts.values())
+    cycles = sum(a.cycles for a in artifacts.values())
+
+    table = TextTable(
+        ["clock (MHz)", "compute (ms)", "interface (ms)", "total (ms)",
+         "interface share", "speedup vs 25 MHz"],
+        title="Wall-time decomposition vs fabric clock (FPGA+ITH)",
+    )
+    t25 = interface_s + cycles / 25e6
+    for mhz in (25, 50, 75, 100, 150, 200, 400):
+        compute_s = cycles / (mhz * 1e6)
+        total = compute_s + interface_s
+        table.add_row(
+            [
+                str(mhz),
+                f"{compute_s * 1e3:.2f}",
+                f"{interface_s * 1e3:.2f}",
+                f"{total * 1e3:.2f}",
+                f"{interface_s / total * 100:.0f}%",
+                f"{t25 / total:.2f}x",
+            ]
+        )
+    print(table.render())
+    print(
+        "\nThe interface term is constant, so doubling the clock far past"
+        "\n100 MHz barely moves total time — the paper's Section V point.\n"
+    )
+
+    ablation = run_interface_ablation(suite, base)
+    print(ablation.to_table().render())
+
+    # Generalised ablation: sweep the per-transaction latency.
+    from dataclasses import replace
+
+    table2 = TextTable(
+        ["txn latency (us)", "total @100 MHz (ms)", "interface share"],
+        title="Sensitivity to host-interface transaction latency",
+    )
+    for latency_us in (13.0, 6.0, 3.0, 1.0, 0.25):
+        calib = replace(
+            base.calibration, pcie_transaction_latency=latency_us * 1e-6
+        )
+        config = replace(base, calibration=calib)
+        swept = collect_fpga_artifacts(suite, config, ith=True, rho=1.0)
+        iface = sum(a.interface_seconds for a in swept.values())
+        total = iface + cycles / 100e6
+        table2.add_row(
+            [f"{latency_us:.2f}", f"{total * 1e3:.2f}", f"{iface / total * 100:.0f}%"]
+        )
+    print()
+    print(table2.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Inference thresholding vs related-work approximate MIPS baselines.
+
+Section VI-B argues that hashing (ALSH) and clustering MIPS
+approximations "may be too slow to be used in the output layer of a DNN
+in resource-limited environments". This example pits Algorithm 1
+against both on identical trained-model queries and reports accuracy
+(agreement with the exact argmax and with the true labels) and the
+number of |E|-wide dot products each method spends per query.
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.eval.suite import BabiSuite, SuiteConfig
+from repro.mips import (
+    AlshMips,
+    ClusteringMips,
+    ExactMips,
+    InferenceThresholding,
+)
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tasks", type=int, nargs="+", default=[1, 6, 15])
+    parser.add_argument("--n-train", type=int, default=200)
+    parser.add_argument("--n-test", type=int, default=80)
+    args = parser.parse_args()
+
+    suite = BabiSuite.build(
+        SuiteConfig(
+            task_ids=tuple(args.tasks), n_train=args.n_train, n_test=args.n_test
+        )
+    )
+
+    table = TextTable(
+        ["engine", "agreement w/ exact", "label accuracy", "mean dot products"],
+        title="MIPS engines on identical trained-model queries",
+    )
+
+    engines = {
+        "exact scan": lambda s: ExactMips(s.weights.w_o),
+        "inference thresholding (rho=1.0)": lambda s: InferenceThresholding(
+            s.weights.w_o, s.threshold_model, rho=1.0
+        ),
+        "ALSH (8 tables x 8 bits)": lambda s: AlshMips(s.weights.w_o, seed=0),
+        "clustering (8 clusters, probe 2)": lambda s: ClusteringMips(
+            s.weights.w_o, seed=0
+        ),
+    }
+
+    for name, factory in engines.items():
+        agree = correct = total = comparisons = 0
+        for system in suite.tasks.values():
+            batch = system.test_batch
+            queries = np.stack(
+                [
+                    system.engine.forward_trace(
+                        batch.stories[i],
+                        batch.questions[i],
+                        int(batch.story_lengths[i]),
+                    ).h_final
+                    for i in range(len(batch))
+                ]
+            )
+            exact = ExactMips(system.weights.w_o)
+            engine = factory(system)
+            for query, answer in zip(queries, batch.answers):
+                reference = exact.search(query)
+                result = engine.search(query)
+                agree += int(result.label == reference.label)
+                correct += int(result.label == int(answer))
+                comparisons += result.comparisons
+                total += 1
+        table.add_row(
+            [
+                name,
+                f"{agree / total:.3f}",
+                f"{correct / total:.3f}",
+                f"{comparisons / total:.1f}",
+            ]
+        )
+
+    print(table.render())
+    print(
+        "\nInference thresholding needs no extra hash tables or centroid"
+        "\nsearch hardware — it reuses the existing sequential scan with a"
+        "\nthreshold comparator, which is the paper's deployment argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Fixed-point weight quantization of the trained MANN (ref [10]).
+
+Sweeps the Q-format fractional precision of a trained task model,
+measuring (a) test accuracy on the golden engine, (b) the model-transfer
+time saved on the simulated host interface, and (c) the effect on the
+accelerator run — showing the precision cliff the authors' earlier
+quantized-MANN work exploits.
+"""
+
+import argparse
+
+from repro.babi import generate_task_dataset
+from repro.hw import HwConfig, MannAccelerator
+from repro.hw.pcie import HostInterface
+from repro.mann import InferenceEngine, train_task_model
+from repro.mann.quantize import QFormat, quantize_weights
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--task", type=int, default=1)
+    parser.add_argument("--n-train", type=int, default=300)
+    parser.add_argument("--n-test", type=int, default=120)
+    parser.add_argument("--epochs", type=int, default=50)
+    args = parser.parse_args()
+
+    train, test = generate_task_dataset(
+        args.task, args.n_train, args.n_test, seed=21
+    )
+    result = train_task_model(train, test, epochs=args.epochs, seed=0)
+    weights = result.model.export_weights()
+    batch = test.encode()
+    host = HostInterface(HwConfig().calibration)
+
+    def evaluate(w) -> float:
+        return InferenceEngine(w).accuracy(
+            batch.stories, batch.questions, batch.answers, batch.story_lengths
+        )
+
+    baseline = evaluate(weights)
+    float_transfer = host.model_transfer(weights.nbytes()).seconds
+
+    table = TextTable(
+        [
+            "format",
+            "word bits",
+            "test accuracy",
+            "max |error|",
+            "model bytes",
+            "transfer (us)",
+        ],
+        title=f"Weight quantization sweep, bAbI task {args.task} "
+        f"(float64 accuracy {baseline:.3f})",
+    )
+    for frac_bits in (12, 10, 8, 6, 4, 2):
+        qformat = QFormat(3, frac_bits)
+        quantized, report = quantize_weights(weights, qformat)
+        accuracy = evaluate(quantized)
+        transfer = host.model_transfer(report.quantized_bytes).seconds
+        table.add_row(
+            [
+                str(qformat),
+                str(qformat.total_bits),
+                f"{accuracy:.3f}",
+                f"{report.worst_max_abs_error:.4f}",
+                str(report.quantized_bytes),
+                f"{transfer * 1e6:.1f}",
+            ]
+        )
+    print(table.render())
+    print(
+        f"\nfloat32 stream: {weights.nbytes()} bytes, "
+        f"{float_transfer * 1e6:.1f} us model transfer"
+    )
+
+    # The quantized grid runs through the full accelerator unchanged.
+    q8, _ = quantize_weights(weights, QFormat(3, 8))
+    config = HwConfig(frequency_mhz=100.0).with_embed_dim(
+        weights.config.embed_dim
+    )
+    report = MannAccelerator(q8, config).run(batch)
+    print(
+        f"\naccelerator with Q3.8 weights: accuracy={report.accuracy:.3f} "
+        f"(float: {baseline:.3f}), wall={report.wall_seconds * 1e3:.2f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

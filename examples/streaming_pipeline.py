@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Streaming (double-buffered) execution vs the paper's synchronous mode.
+
+The paper's host protocol is request/response per example, which leaves
+the fabric idle during transfers and the interface idle during compute.
+This example quantifies what a double-buffered MEM (two banks: one
+being written, one being read) recovers, per clock frequency, and shows
+the per-stage bottleneck analysis.
+"""
+
+import argparse
+
+from repro.babi import generate_task_dataset
+from repro.hw import HwConfig
+from repro.hw.streaming import run_streaming, stage_cycles_for_batch
+from repro.mann import train_task_model
+from repro.utils.tables import TextTable
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--task", type=int, default=1)
+    parser.add_argument("--n-train", type=int, default=200)
+    parser.add_argument("--n-test", type=int, default=100)
+    parser.add_argument("--epochs", type=int, default=30)
+    args = parser.parse_args()
+
+    train, test = generate_task_dataset(
+        args.task, args.n_train, args.n_test, seed=9
+    )
+    result = train_task_model(train, test, epochs=args.epochs, seed=0)
+    weights = result.model.export_weights()
+    batch = test.encode()
+
+    table = TextTable(
+        [
+            "clock (MHz)",
+            "synchronous (ms)",
+            "streaming (ms)",
+            "speedup",
+            "bottleneck stage",
+        ],
+        title=f"Streaming vs synchronous, bAbI task {args.task} "
+        f"({len(batch)} examples)",
+    )
+    for mhz in (25.0, 50.0, 100.0, 200.0):
+        config = HwConfig(frequency_mhz=mhz).with_embed_dim(
+            weights.config.embed_dim
+        )
+        report = run_streaming(
+            batch, config, weights.config.hops, weights.config.vocab_size
+        )
+        stages = report.stage_cycles
+        sums = {
+            "transfer": sum(s.transfer_cycles for s in stages),
+            "write": sum(s.write_cycles for s in stages),
+            "read+output": sum(s.read_output_cycles for s in stages),
+        }
+        bottleneck = max(sums, key=sums.get)
+        table.add_row(
+            [
+                f"{mhz:.0f}",
+                f"{report.total_cycles_sequential * config.cycle_time_s * 1e3:.2f}",
+                f"{report.total_cycles_streaming * config.cycle_time_s * 1e3:.2f}",
+                f"{report.speedup:.2f}x",
+                bottleneck,
+            ]
+        )
+    print(table.render())
+    print(
+        "\nAt low clocks compute is the bottleneck and pipelining hides the"
+        "\ntransfers; at high clocks the transfer stage dominates, so even a"
+        "\nperfect pipeline is capped by the host interface — the same bound"
+        "\nSection V identifies for the synchronous protocol."
+    )
+
+    # Per-stage profile of the first few examples.
+    config = HwConfig(frequency_mhz=100.0).with_embed_dim(
+        weights.config.embed_dim
+    )
+    stages = stage_cycles_for_batch(
+        batch, config, weights.config.hops, weights.config.vocab_size
+    )
+    profile = TextTable(
+        ["example", "transfer", "write", "read+output", "bottleneck"],
+        title="Per-example stage cycles @ 100 MHz (first 8)",
+    )
+    for i, stage in enumerate(stages[:8]):
+        profile.add_row(
+            [
+                str(i),
+                str(stage.transfer_cycles),
+                str(stage.write_cycles),
+                str(stage.read_output_cycles),
+                str(stage.bottleneck),
+            ]
+        )
+    print()
+    print(profile.render())
+
+
+if __name__ == "__main__":
+    main()

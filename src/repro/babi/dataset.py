@@ -1,0 +1,154 @@
+"""Dataset containers and array encoding for the MANN.
+
+The MANN consumes a story as a (memory_size, sentence_len) matrix of
+word indices (bag-of-words per sentence, Eq. 2), a question index
+vector, and an integer answer label over the full vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.babi.story import QAExample
+from repro.babi.tasks import get_generator
+from repro.babi.vocab import Vocab
+from repro.utils.rng import new_rng
+
+
+@dataclass
+class EncodedBatch:
+    """Padded index arrays for a list of QA examples.
+
+    ``stories``  : (batch, memory_size, sentence_len) int64, pad=0
+    ``questions``: (batch, sentence_len) int64, pad=0
+    ``answers``  : (batch,) int64 vocabulary indices
+    ``story_lengths``: (batch,) number of real (non-pad) sentences
+    """
+
+    stories: np.ndarray
+    questions: np.ndarray
+    answers: np.ndarray
+    story_lengths: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def subset(self, indices: np.ndarray) -> "EncodedBatch":
+        return EncodedBatch(
+            self.stories[indices],
+            self.questions[indices],
+            self.answers[indices],
+            self.story_lengths[indices],
+        )
+
+
+class BabiDataset:
+    """A set of QA examples with a shared vocabulary and encoding."""
+
+    def __init__(
+        self,
+        examples: list[QAExample],
+        vocab: Vocab | None = None,
+        memory_size: int | None = None,
+        sentence_len: int | None = None,
+    ):
+        if not examples:
+            raise ValueError("dataset needs at least one example")
+        self.examples = list(examples)
+        self.vocab = vocab if vocab is not None else Vocab.from_examples(examples)
+        observed_mem = max(len(e.story) for e in examples)
+        observed_len = max(
+            max(max(len(s) for s in e.story), len(e.question)) for e in examples
+        )
+        self.memory_size = memory_size if memory_size is not None else observed_mem
+        self.sentence_len = sentence_len if sentence_len is not None else observed_len
+        if self.memory_size < 1 or self.sentence_len < 1:
+            raise ValueError("memory_size and sentence_len must be >= 1")
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocab)
+
+    def encode_example(self, example: QAExample) -> tuple[np.ndarray, np.ndarray, int]:
+        """Encode one example to (story, question, answer) index arrays.
+
+        Stories longer than ``memory_size`` keep their most recent
+        sentences, matching MemN2N's fixed-size memory.
+        """
+        story = np.zeros((self.memory_size, self.sentence_len), dtype=np.int64)
+        sentences = example.story[-self.memory_size :]
+        for row, sentence in enumerate(sentences):
+            tokens = sentence.tokens[: self.sentence_len]
+            for col, token in enumerate(tokens):
+                story[row, col] = self.vocab.index(token)
+        question = np.zeros(self.sentence_len, dtype=np.int64)
+        for col, token in enumerate(example.question.tokens[: self.sentence_len]):
+            question[col] = self.vocab.index(token)
+        answer = self.vocab.index(example.answer)
+        return story, question, answer
+
+    def encode(self, examples: list[QAExample] | None = None) -> EncodedBatch:
+        examples = self.examples if examples is None else examples
+        batch = len(examples)
+        stories = np.zeros((batch, self.memory_size, self.sentence_len), dtype=np.int64)
+        questions = np.zeros((batch, self.sentence_len), dtype=np.int64)
+        answers = np.zeros(batch, dtype=np.int64)
+        lengths = np.zeros(batch, dtype=np.int64)
+        for i, example in enumerate(examples):
+            s, q, a = self.encode_example(example)
+            stories[i], questions[i], answers[i] = s, q, a
+            lengths[i] = min(len(example.story), self.memory_size)
+        return EncodedBatch(stories, questions, answers, lengths)
+
+    def split(self, train_fraction: float, seed: int = 0) -> tuple["BabiDataset", "BabiDataset"]:
+        """Shuffled train/test split sharing vocab and encoding dims."""
+        if not 0.0 < train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        rng = new_rng(seed)
+        order = rng.permutation(len(self.examples))
+        cut = int(round(train_fraction * len(self.examples)))
+        cut = max(1, min(len(self.examples) - 1, cut))
+        train = [self.examples[i] for i in order[:cut]]
+        test = [self.examples[i] for i in order[cut:]]
+        make = lambda ex: BabiDataset(  # noqa: E731 - tiny local factory
+            ex, self.vocab, self.memory_size, self.sentence_len
+        )
+        return make(train), make(test)
+
+    def answer_indices(self) -> np.ndarray:
+        return np.array([self.vocab.index(e.answer) for e in self.examples])
+
+    def majority_baseline_accuracy(self) -> float:
+        """Accuracy of always answering the most common label."""
+        answers = self.answer_indices()
+        _, counts = np.unique(answers, return_counts=True)
+        return float(counts.max()) / len(answers)
+
+
+def generate_task_dataset(
+    task_id: int,
+    n_train: int,
+    n_test: int,
+    seed: int = 0,
+    memory_size: int | None = None,
+) -> tuple[BabiDataset, BabiDataset]:
+    """Generate train and test datasets for one task with shared vocab."""
+    generator = get_generator(task_id)
+    rng = new_rng(seed)
+    train_examples = generator(rng, n_train)
+    test_examples = generator(rng, n_test)
+    combined = BabiDataset(
+        train_examples + test_examples, memory_size=memory_size
+    )
+    train = BabiDataset(
+        train_examples, combined.vocab, combined.memory_size, combined.sentence_len
+    )
+    test = BabiDataset(
+        test_examples, combined.vocab, combined.memory_size, combined.sentence_len
+    )
+    return train, test

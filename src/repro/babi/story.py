@@ -1,0 +1,70 @@
+"""Story data structures shared by the task generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Sentence:
+    """One declarative story sentence as a token list (no punctuation)."""
+
+    tokens: tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.tokens:
+            raise ValueError("a sentence needs at least one token")
+        object.__setattr__(self, "tokens", tuple(t.lower() for t in self.tokens))
+
+    @classmethod
+    def from_text(cls, text: str) -> "Sentence":
+        return cls(tuple(text.replace(".", "").replace("?", "").lower().split()))
+
+    def text(self) -> str:
+        return " ".join(self.tokens)
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+
+@dataclass
+class QAExample:
+    """A story, a question about it, and the single-token answer.
+
+    ``answer`` is a single vocabulary token; multi-word bAbI answers
+    (tasks 8 and 19) are joined with commas into one token, matching how
+    MemN2N treats them as atomic labels.
+    ``supporting`` holds indices into ``story`` of the facts that entail
+    the answer (used by tests to validate generator correctness).
+    """
+
+    task_id: int
+    story: list[Sentence]
+    question: Sentence
+    answer: str
+    supporting: tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        self.answer = self.answer.lower()
+        if not self.story:
+            raise ValueError("story must contain at least one sentence")
+        for idx in self.supporting:
+            if not 0 <= idx < len(self.story):
+                raise ValueError(
+                    f"supporting index {idx} out of range for story of "
+                    f"length {len(self.story)}"
+                )
+
+    def all_tokens(self) -> list[str]:
+        tokens: list[str] = []
+        for sentence in self.story:
+            tokens.extend(sentence.tokens)
+        tokens.extend(self.question.tokens)
+        tokens.append(self.answer)
+        return tokens
+
+    def text(self) -> str:
+        """Readable rendering used by the examples."""
+        lines = [f"{i + 1} {s.text()}." for i, s in enumerate(self.story)]
+        lines.append(f"Q: {self.question.text()}?  A: {self.answer}")
+        return "\n".join(lines)

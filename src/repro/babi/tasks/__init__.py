@@ -1,0 +1,88 @@
+"""Registry of the 20 bAbI task generators.
+
+Each generator is a callable ``generate(rng, n_examples) -> list[QAExample]``
+implementing the semantics of one bAbI task type. Use
+:func:`get_generator` to look one up by its 1-based task id.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.babi.story import QAExample
+from repro.babi.tasks import (
+    basic,
+    counting,
+    deduction,
+    motivation,
+    pathfinding,
+    position,
+    relations,
+    temporal,
+    yesno,
+)
+
+TaskGenerator = Callable[[np.random.Generator, int], list[QAExample]]
+
+TASK_NAMES: dict[int, str] = {
+    1: "single supporting fact",
+    2: "two supporting facts",
+    3: "three supporting facts",
+    4: "two argument relations",
+    5: "three argument relations",
+    6: "yes/no questions",
+    7: "counting",
+    8: "lists/sets",
+    9: "simple negation",
+    10: "indefinite knowledge",
+    11: "basic coreference",
+    12: "conjunction",
+    13: "compound coreference",
+    14: "time reasoning",
+    15: "basic deduction",
+    16: "basic induction",
+    17: "positional reasoning",
+    18: "size reasoning",
+    19: "path finding",
+    20: "agent's motivation",
+}
+
+_GENERATORS: dict[int, TaskGenerator] = {
+    1: basic.generate_task1,
+    2: basic.generate_task2,
+    3: basic.generate_task3,
+    4: relations.generate_task4,
+    5: relations.generate_task5,
+    6: yesno.generate_task6,
+    7: counting.generate_task7,
+    8: counting.generate_task8,
+    9: yesno.generate_task9,
+    10: yesno.generate_task10,
+    11: basic.generate_task11,
+    12: basic.generate_task12,
+    13: basic.generate_task13,
+    14: temporal.generate_task14,
+    15: deduction.generate_task15,
+    16: deduction.generate_task16,
+    17: position.generate_task17,
+    18: position.generate_task18,
+    19: pathfinding.generate_task19,
+    20: motivation.generate_task20,
+}
+
+
+def all_task_ids() -> list[int]:
+    """The 1-based ids of every implemented task, in order."""
+    return sorted(_GENERATORS)
+
+
+def get_generator(task_id: int) -> TaskGenerator:
+    """Return the generator for a 1-based bAbI task id."""
+    try:
+        return _GENERATORS[task_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown bAbI task id {task_id}; valid ids are 1..20"
+        ) from None

@@ -1,0 +1,283 @@
+"""Tasks 1-3 (supporting facts) and 11-13 (coreference, conjunction).
+
+These are the actor/location/object tasks driven by the shared
+:class:`~repro.babi.world.WorldState` simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.babi.story import QAExample, Sentence
+from repro.babi.world import (
+    GRAB_VERBS,
+    MOVE_VERBS,
+    WorldConfig,
+    WorldState,
+    choose,
+    choose_distinct,
+)
+
+
+def _move_sentence(rng: np.random.Generator, actor: str, location: str) -> Sentence:
+    verb = choose(rng, MOVE_VERBS)
+    return Sentence.from_text(f"{actor} {verb} the {location}")
+
+
+def _grab_sentence(rng: np.random.Generator, actor: str, obj: str) -> Sentence:
+    verb = choose(rng, GRAB_VERBS)
+    return Sentence.from_text(f"{actor} {verb} the {obj}")
+
+
+def generate_task1(
+    rng: np.random.Generator,
+    n_examples: int,
+    config: WorldConfig = WorldConfig(),
+    story_length: tuple[int, int] = (2, 8),
+) -> list[QAExample]:
+    """Task 1: single supporting fact.
+
+    Actors wander; the question asks for the current location of an
+    actor who has moved at least once.
+    """
+    actors = config.actors()
+    locations = config.locations()
+    examples = []
+    for _ in range(n_examples):
+        state = WorldState()
+        story: list[Sentence] = []
+        n_facts = int(rng.integers(story_length[0], story_length[1] + 1))
+        for i in range(n_facts):
+            actor = choose(rng, actors)
+            location = choose(rng, locations)
+            story.append(_move_sentence(rng, actor, location))
+            state.move(actor, location, i)
+        asked = choose(rng, list(state.actor_location))
+        question = Sentence.from_text(f"where is {asked}")
+        answer = state.actor_location[asked]
+        supporting = (state.actor_location_fact[asked],)
+        examples.append(QAExample(1, story, question, answer, supporting))
+    return examples
+
+
+def generate_task2(
+    rng: np.random.Generator,
+    n_examples: int,
+    config: WorldConfig = WorldConfig(),
+    story_length: tuple[int, int] = (4, 10),
+) -> list[QAExample]:
+    """Task 2: two supporting facts.
+
+    "Where is the football?" needs the grab fact and the carrier's most
+    recent move fact.
+    """
+    actors = config.actors()
+    locations = config.locations()
+    objects = config.objects()
+    examples = []
+    while len(examples) < n_examples:
+        state = WorldState()
+        story: list[Sentence] = []
+        n_facts = int(rng.integers(story_length[0], story_length[1] + 1))
+        for i in range(n_facts):
+            actor = choose(rng, actors)
+            if rng.random() < 0.55 or actor not in state.actor_location:
+                location = choose(rng, locations)
+                story.append(_move_sentence(rng, actor, location))
+                state.move(actor, location, i)
+            else:
+                free = [o for o in objects if state.carrier_of(o) is None]
+                if not free:
+                    location = choose(rng, locations)
+                    story.append(_move_sentence(rng, actor, location))
+                    state.move(actor, location, i)
+                    continue
+                obj = choose(rng, free)
+                story.append(_grab_sentence(rng, actor, obj))
+                state.grab(actor, obj, i)
+        # Need an object whose carrier has a known location.
+        candidates = [
+            obj
+            for obj in objects
+            if state.carrier_of(obj) is not None
+            and state.carrier_of(obj) in state.actor_location
+        ]
+        if not candidates:
+            continue
+        obj = choose(rng, candidates)
+        carrier = state.carrier_of(obj)
+        question = Sentence.from_text(f"where is the {obj}")
+        answer = state.actor_location[carrier]
+        supporting = (
+            state.holding_fact[(carrier, obj)],
+            state.actor_location_fact[carrier],
+        )
+        examples.append(QAExample(2, story, question, answer, supporting))
+    return examples
+
+
+def generate_task3(
+    rng: np.random.Generator,
+    n_examples: int,
+    config: WorldConfig = WorldConfig(),
+    story_length: tuple[int, int] = (8, 14),
+) -> list[QAExample]:
+    """Task 3: three supporting facts.
+
+    "Where was the football before the kitchen?" requires the grab fact
+    and two consecutive carrier moves.
+    """
+    actors = config.actors()
+    locations = config.locations()
+    objects = config.objects()
+    examples = []
+    while len(examples) < n_examples:
+        state = WorldState()
+        story: list[Sentence] = []
+        n_facts = int(rng.integers(story_length[0], story_length[1] + 1))
+        for _ in range(n_facts):
+            actor = choose(rng, actors)
+            carried = state.carried_by(actor)
+            free = [o for o in objects if state.carrier_of(o) is None]
+            wants_grab = (
+                not carried
+                and free
+                and actor in state.actor_location
+                and rng.random() < 0.5
+            )
+            if wants_grab:
+                obj = choose(rng, free)
+                story.append(_grab_sentence(rng, actor, obj))
+                state.grab(actor, obj, len(story) - 1)
+            else:
+                location = choose(rng, locations)
+                story.append(_move_sentence(rng, actor, location))
+                state.move(actor, location, len(story) - 1)
+        # Need an object that has visited >= 2 distinct locations.
+        candidates = [
+            obj
+            for obj, history in state.object_location_history.items()
+            if len(history) >= 2
+        ]
+        if not candidates:
+            continue
+        obj = choose(rng, candidates)
+        history = state.object_location_history[obj]
+        current_loc, current_fact = history[-1]
+        previous_loc, previous_fact = history[-2]
+        carrier = state.carrier_of(obj)
+        grab_fact = state.holding_fact.get((carrier, obj)) if carrier else None
+        question = Sentence.from_text(f"where was the {obj} before the {current_loc}")
+        supporting = tuple(
+            sorted(
+                {previous_fact, current_fact}
+                | ({grab_fact} if grab_fact is not None else set())
+            )
+        )
+        examples.append(QAExample(3, story, question, previous_loc, supporting))
+    return examples
+
+
+def generate_task11(
+    rng: np.random.Generator,
+    n_examples: int,
+    config: WorldConfig = WorldConfig(),
+    n_rounds: tuple[int, int] = (2, 5),
+) -> list[QAExample]:
+    """Task 11: basic coreference ("after that she went to ...")."""
+    actors = config.actors()
+    locations = config.locations()
+    pronoun = {
+        "mary": "she", "sandra": "she", "julie": "she",
+        "john": "he", "daniel": "he", "fred": "he", "bill": "he", "jeff": "he",
+    }
+    examples = []
+    for _ in range(n_examples):
+        state = WorldState()
+        story: list[Sentence] = []
+        last_actor = None
+        n = int(rng.integers(n_rounds[0], n_rounds[1] + 1))
+        for _ in range(n):
+            actor = choose(rng, actors)
+            location = choose(rng, locations)
+            story.append(_move_sentence(rng, actor, location))
+            state.move(actor, location, len(story) - 1)
+            if rng.random() < 0.6:
+                follow = choose(rng, locations)
+                who = pronoun.get(actor, "they")
+                story.append(
+                    Sentence.from_text(f"after that {who} went to the {follow}")
+                )
+                state.move(actor, follow, len(story) - 1)
+            last_actor = actor
+        asked = last_actor if rng.random() < 0.7 else choose(rng, list(state.actor_location))
+        question = Sentence.from_text(f"where is {asked}")
+        answer = state.actor_location[asked]
+        supporting = (state.actor_location_fact[asked],)
+        examples.append(QAExample(11, story, question, answer, supporting))
+    return examples
+
+
+def generate_task12(
+    rng: np.random.Generator,
+    n_examples: int,
+    config: WorldConfig = WorldConfig(),
+    n_facts: tuple[int, int] = (2, 6),
+) -> list[QAExample]:
+    """Task 12: conjunction ("mary and john went to the kitchen")."""
+    actors = config.actors()
+    locations = config.locations()
+    examples = []
+    for _ in range(n_examples):
+        state = WorldState()
+        story: list[Sentence] = []
+        n = int(rng.integers(n_facts[0], n_facts[1] + 1))
+        for i in range(n):
+            a, b = choose_distinct(rng, actors, 2)
+            location = choose(rng, locations)
+            story.append(Sentence.from_text(f"{a} and {b} went to the {location}"))
+            state.move(a, location, i)
+            state.move(b, location, i)
+        asked = choose(rng, list(state.actor_location))
+        question = Sentence.from_text(f"where is {asked}")
+        answer = state.actor_location[asked]
+        supporting = (state.actor_location_fact[asked],)
+        examples.append(QAExample(12, story, question, answer, supporting))
+    return examples
+
+
+def generate_task13(
+    rng: np.random.Generator,
+    n_examples: int,
+    config: WorldConfig = WorldConfig(),
+    n_rounds: tuple[int, int] = (2, 4),
+) -> list[QAExample]:
+    """Task 13: compound coreference ("afterwards they moved to ...")."""
+    actors = config.actors()
+    locations = config.locations()
+    examples = []
+    for _ in range(n_examples):
+        state = WorldState()
+        story: list[Sentence] = []
+        group: list[str] = []
+        n = int(rng.integers(n_rounds[0], n_rounds[1] + 1))
+        for _ in range(n):
+            a, b = choose_distinct(rng, actors, 2)
+            group = [a, b]
+            location = choose(rng, locations)
+            story.append(Sentence.from_text(f"{a} and {b} went to the {location}"))
+            for member in group:
+                state.move(member, location, len(story) - 1)
+            if rng.random() < 0.6:
+                follow = choose(rng, locations)
+                story.append(
+                    Sentence.from_text(f"afterwards they moved to the {follow}")
+                )
+                for member in group:
+                    state.move(member, follow, len(story) - 1)
+        asked = choose(rng, group)
+        question = Sentence.from_text(f"where is {asked}")
+        answer = state.actor_location[asked]
+        supporting = (state.actor_location_fact[asked],)
+        examples.append(QAExample(13, story, question, answer, supporting))
+    return examples

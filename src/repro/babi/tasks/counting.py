@@ -1,0 +1,117 @@
+"""Tasks 7 and 8: counting and lists/sets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.babi.story import QAExample, Sentence
+from repro.babi.world import (
+    DROP_VERBS,
+    GRAB_VERBS,
+    MOVE_VERBS,
+    WorldConfig,
+    WorldState,
+    choose,
+)
+
+NUMBER_WORDS = ("none", "one", "two", "three", "four", "five")
+
+
+def _simulate_carrying(
+    rng: np.random.Generator,
+    actors,
+    locations,
+    objects,
+    n_facts: int,
+) -> tuple[list[Sentence], WorldState, dict[str, list[int]]]:
+    """Random walk of moves/grabs/drops shared by tasks 7 and 8.
+
+    Also returns, per actor, the indices of the facts in which that
+    actor's carried-object set changed (grabs and drops) — the
+    supporting evidence for "what/how many is X carrying" questions.
+    """
+    state = WorldState()
+    story: list[Sentence] = []
+    carry_facts: dict[str, list[int]] = {actor: [] for actor in actors}
+    for i in range(n_facts):
+        actor = choose(rng, actors)
+        carried = state.carried_by(actor)
+        free = [o for o in objects if state.carrier_of(o) is None]
+        roll = rng.random()
+        if actor not in state.actor_location or roll < 0.35:
+            location = choose(rng, locations)
+            verb = choose(rng, MOVE_VERBS)
+            story.append(Sentence.from_text(f"{actor} {verb} the {location}"))
+            state.move(actor, location, i)
+        elif carried and roll < 0.55:
+            obj = choose(rng, carried)
+            verb = choose(rng, DROP_VERBS)
+            story.append(Sentence.from_text(f"{actor} {verb} the {obj}"))
+            state.drop(actor, obj, i)
+            carry_facts[actor].append(i)
+        elif free:
+            obj = choose(rng, free)
+            verb = choose(rng, GRAB_VERBS)
+            story.append(Sentence.from_text(f"{actor} {verb} the {obj}"))
+            state.grab(actor, obj, i)
+            carry_facts[actor].append(i)
+        else:
+            location = choose(rng, locations)
+            verb = choose(rng, MOVE_VERBS)
+            story.append(Sentence.from_text(f"{actor} {verb} the {location}"))
+            state.move(actor, location, i)
+    return story, state, carry_facts
+
+
+def generate_task7(
+    rng: np.random.Generator,
+    n_examples: int,
+    config: WorldConfig = WorldConfig(n_objects=4),
+    n_facts: tuple[int, int] = (5, 10),
+) -> list[QAExample]:
+    """Task 7: counting ("how many objects is mary carrying?")."""
+    actors = config.actors()
+    locations = config.locations()
+    objects = config.objects()
+    examples = []
+    for _ in range(n_examples):
+        n = int(rng.integers(n_facts[0], n_facts[1] + 1))
+        story, state, carry_facts = _simulate_carrying(
+            rng, actors, locations, objects, n
+        )
+        asked = choose(rng, actors)
+        count = len(state.carried_by(asked))
+        answer = NUMBER_WORDS[count] if count < len(NUMBER_WORDS) else str(count)
+        question = Sentence.from_text(f"how many objects is {asked} carrying")
+        supporting = tuple(carry_facts[asked]) or (len(story) - 1,)
+        examples.append(QAExample(7, story, question, answer, supporting))
+    return examples
+
+
+def generate_task8(
+    rng: np.random.Generator,
+    n_examples: int,
+    config: WorldConfig = WorldConfig(n_objects=4),
+    n_facts: tuple[int, int] = (5, 10),
+) -> list[QAExample]:
+    """Task 8: lists/sets ("what is mary carrying?").
+
+    Multi-object answers are joined with commas into one label token in
+    sorted order (the MemN2N convention for multi-word answers).
+    """
+    actors = config.actors()
+    locations = config.locations()
+    objects = config.objects()
+    examples = []
+    for _ in range(n_examples):
+        n = int(rng.integers(n_facts[0], n_facts[1] + 1))
+        story, state, carry_facts = _simulate_carrying(
+            rng, actors, locations, objects, n
+        )
+        asked = choose(rng, actors)
+        carried = sorted(state.carried_by(asked))
+        answer = ",".join(carried) if carried else "nothing"
+        question = Sentence.from_text(f"what is {asked} carrying")
+        supporting = tuple(carry_facts[asked]) or (len(story) - 1,)
+        examples.append(QAExample(8, story, question, answer, supporting))
+    return examples

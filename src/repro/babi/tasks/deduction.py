@@ -1,0 +1,112 @@
+"""Tasks 15 and 16: basic deduction and basic induction."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.babi.story import QAExample, Sentence
+from repro.babi.world import (
+    ANIMAL_NAMES,
+    ANIMAL_PLURALS,
+    ANIMALS,
+    COLORS,
+    choose,
+    choose_distinct,
+)
+
+
+def generate_task15(
+    rng: np.random.Generator,
+    n_examples: int,
+    n_species: int = 4,
+) -> list[QAExample]:
+    """Task 15: basic deduction.
+
+    Rules "mice are afraid of wolves" plus facts "gertrude is a mouse"
+    entail "what is gertrude afraid of? -> wolf".
+    """
+    examples = []
+    for _ in range(n_examples):
+        species = choose_distinct(rng, ANIMALS, n_species)
+        # Each species fears another listed species (derangement-ish).
+        fears: dict[str, str] = {}
+        for i, s in enumerate(species):
+            others = [x for x in species if x != s]
+            fears[s] = choose(rng, others)
+        names = choose_distinct(rng, ANIMAL_NAMES, n_species)
+        identity = dict(zip(names, species))
+
+        rule_sentences = []
+        for s in species:
+            rule_sentences.append(
+                Sentence.from_text(
+                    f"{ANIMAL_PLURALS[s]} are afraid of {ANIMAL_PLURALS[fears[s]]}"
+                )
+            )
+        fact_sentences = [
+            Sentence.from_text(f"{name} is a {identity[name]}") for name in names
+        ]
+        sentences = rule_sentences + fact_sentences
+        order = rng.permutation(len(sentences)).tolist()
+        story = [sentences[i] for i in order]
+        position = {id(sentences[i]): pos for pos, i in enumerate(order)}
+
+        asked = choose(rng, names)
+        asked_species = identity[asked]
+        answer = fears[asked_species]
+        question = Sentence.from_text(f"what is {asked} afraid of")
+        rule_idx = position[id(rule_sentences[species.index(asked_species)])]
+        fact_idx = position[id(fact_sentences[names.index(asked)])]
+        supporting = tuple(sorted({rule_idx, fact_idx}))
+        examples.append(QAExample(15, story, question, answer, supporting))
+    return examples
+
+
+def generate_task16(
+    rng: np.random.Generator,
+    n_examples: int,
+    n_individuals: int = 4,
+) -> list[QAExample]:
+    """Task 16: basic induction.
+
+    "lily is a swan. lily is white. bernhard is a swan." entails
+    "what color is bernhard? -> white".
+    """
+    examples = []
+    for _ in range(n_examples):
+        species = choose_distinct(rng, ANIMALS, 3)
+        species_color = dict(zip(species, choose_distinct(rng, COLORS, 3)))
+        names = choose_distinct(rng, ANIMAL_NAMES, n_individuals)
+        identity = {name: choose(rng, species) for name in names}
+        # Ensure the queried individual shares a species with a coloured one.
+        target = names[-1]
+        reference = names[0]
+        identity[target] = identity[reference]
+
+        sentences: list[Sentence] = []
+        color_fact_of: dict[str, int] = {}
+        species_fact_of: dict[str, int] = {}
+        for name in names:
+            sentences.append(Sentence.from_text(f"{name} is a {identity[name]}"))
+            species_fact_of[name] = len(sentences) - 1
+            if name != target:
+                sentences.append(
+                    Sentence.from_text(
+                        f"{name} is {species_color[identity[name]]}"
+                    )
+                )
+                color_fact_of[name] = len(sentences) - 1
+
+        question = Sentence.from_text(f"what color is {target}")
+        answer = species_color[identity[target]]
+        supporting = tuple(
+            sorted(
+                {
+                    species_fact_of[target],
+                    species_fact_of[reference],
+                    color_fact_of[reference],
+                }
+            )
+        )
+        examples.append(QAExample(16, list(sentences), question, answer, supporting))
+    return examples

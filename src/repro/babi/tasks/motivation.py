@@ -1,0 +1,68 @@
+"""Task 20: agent's motivation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.babi.story import QAExample, Sentence
+from repro.babi.world import MOTIVE_TARGET, MOTIVES, WorldConfig, choose
+
+_MOTIVE_OBJECT = {
+    "hungry": "apple",
+    "thirsty": "milk",
+    "tired": "pajamas",
+    "bored": "football",
+}
+
+
+def generate_task20(
+    rng: np.random.Generator,
+    n_examples: int,
+    config: WorldConfig = WorldConfig(),
+) -> list[QAExample]:
+    """Task 20: agent's motivation.
+
+    Stories: "john is hungry. john went to the kitchen. john grabbed the
+    apple." Questions: "why did john go to the kitchen" -> hungry;
+    "where will john go" -> kitchen (asked before the move is narrated).
+    """
+    actors = config.actors()
+    examples = []
+    for _ in range(n_examples):
+        actor = choose(rng, actors)
+        motive = choose(rng, MOTIVES)
+        target = MOTIVE_TARGET[motive]
+        obj = _MOTIVE_OBJECT[motive]
+
+        # Optionally narrate an unrelated actor first (distractor).
+        story: list[Sentence] = []
+        if rng.random() < 0.5:
+            other = choose(rng, [a for a in actors if a != actor])
+            other_motive = choose(rng, MOTIVES)
+            story.append(Sentence.from_text(f"{other} is {other_motive}"))
+        motive_idx = len(story)
+        story.append(Sentence.from_text(f"{actor} is {motive}"))
+
+        style = rng.random()
+        if style < 0.4:
+            # Predictive question: where will the actor go?
+            question = Sentence.from_text(f"where will {actor} go")
+            answer = target
+            supporting = (motive_idx,)
+        else:
+            move_idx = len(story)
+            story.append(Sentence.from_text(f"{actor} went to the {target}"))
+            if rng.random() < 0.5:
+                story.append(Sentence.from_text(f"{actor} grabbed the {obj}"))
+            if style < 0.7:
+                question = Sentence.from_text(
+                    f"why did {actor} go to the {target}"
+                )
+                answer = motive
+                supporting = (motive_idx,)
+            else:
+                question = Sentence.from_text(f"where is {actor}")
+                answer = target
+                supporting = (move_idx,)
+        examples.append(QAExample(20, story, question, answer, supporting))
+    return examples

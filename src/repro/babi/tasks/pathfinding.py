@@ -1,0 +1,117 @@
+"""Task 19: path finding between locations on a grid."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.babi.story import QAExample, Sentence
+from repro.babi.world import (
+    DIRECTION_DELTA,
+    DIRECTION_LETTER,
+    LOCATIONS,
+    choose,
+    choose_distinct,
+)
+
+
+def _layout_locations(
+    rng: np.random.Generator, names: list[str]
+) -> dict[str, tuple[int, int]]:
+    """Place locations on a grid by a self-avoiding random walk."""
+    coords: dict[str, tuple[int, int]] = {names[0]: (0, 0)}
+    occupied = {(0, 0)}
+    for name in names[1:]:
+        anchor = choose(rng, list(coords))
+        placed = False
+        for direction in rng.permutation(list(DIRECTION_DELTA)).tolist():
+            dx, dy = DIRECTION_DELTA[direction]
+            ax, ay = coords[anchor]
+            candidate = (ax + dx, ay + dy)
+            if candidate not in occupied:
+                coords[name] = candidate
+                occupied.add(candidate)
+                placed = True
+                break
+        if not placed:
+            # Extremely unlikely with <= 6 locations; restart the layout.
+            return _layout_locations(rng, names)
+    return coords
+
+
+def _adjacency_facts(
+    rng: np.random.Generator, coords: dict[str, tuple[int, int]]
+) -> list[tuple[str, str, str]]:
+    """All (a, direction, b) adjacencies, each narrated once."""
+    facts = []
+    names = list(coords)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            ax, ay = coords[a]
+            bx, by = coords[b]
+            for direction, (dx, dy) in DIRECTION_DELTA.items():
+                if (ax - bx, ay - by) == (dx, dy):
+                    facts.append((a, direction, b))
+    order = rng.permutation(len(facts)).tolist()
+    return [facts[i] for i in order]
+
+
+def _shortest_path(
+    coords: dict[str, tuple[int, int]],
+    start: str,
+    goal: str,
+    max_len: int = 2,
+) -> list[str] | None:
+    """BFS over grid-adjacent locations; returns direction names."""
+    from collections import deque
+
+    position_to_name = {pos: name for name, pos in coords.items()}
+    queue = deque([(coords[start], [])])
+    seen = {coords[start]}
+    while queue:
+        pos, path = queue.popleft()
+        if position_to_name.get(pos) == goal:
+            return path
+        if len(path) >= max_len:
+            continue
+        for direction, (dx, dy) in DIRECTION_DELTA.items():
+            nxt = (pos[0] + dx, pos[1] + dy)
+            if nxt in seen or nxt not in position_to_name:
+                continue
+            seen.add(nxt)
+            queue.append((nxt, path + [direction]))
+    return None
+
+
+def generate_task19(
+    rng: np.random.Generator,
+    n_examples: int,
+    n_locations: int = 5,
+    path_length: int = 2,
+) -> list[QAExample]:
+    """Task 19: path finding.
+
+    The answer is the two-step direction sequence as a single token,
+    e.g. "n,w" — matching the original task's compound answers.
+    """
+    examples = []
+    attempts = 0
+    while len(examples) < n_examples:
+        attempts += 1
+        if attempts > n_examples * 200:
+            raise RuntimeError("task 19 generation failed to converge")
+        names = choose_distinct(rng, LOCATIONS, n_locations)
+        coords = _layout_locations(rng, names)
+        start, goal = choose_distinct(rng, names, 2)
+        path = _shortest_path(coords, start, goal, max_len=path_length)
+        if path is None or len(path) != path_length:
+            continue
+        facts = _adjacency_facts(rng, coords)
+        story = [
+            Sentence.from_text(f"the {a} is {direction} of the {b}")
+            for a, direction, b in facts
+        ]
+        question = Sentence.from_text(f"how do you go from the {start} to the {goal}")
+        answer = ",".join(DIRECTION_LETTER[d] for d in path)
+        supporting = tuple(range(len(story)))
+        examples.append(QAExample(19, story, question, answer, supporting))
+    return examples

@@ -1,0 +1,96 @@
+"""Tasks 17 and 18: positional and size reasoning (yes/no answers)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.babi.story import QAExample, Sentence
+from repro.babi.world import CONTAINERS, DIRECTION_DELTA, SHAPES, choose, choose_distinct
+
+_POSITION_PHRASES = {
+    "north": "above",
+    "south": "below",
+    "east": "to the right of",
+    "west": "to the left of",
+}
+
+
+def generate_task17(
+    rng: np.random.Generator,
+    n_examples: int,
+    n_shapes: int = 3,
+) -> list[QAExample]:
+    """Task 17: positional reasoning on a 2-D grid.
+
+    Shapes are placed relative to each other; the question asks whether
+    one shape stands in a given relation to another, which requires
+    composing the placements.
+    """
+    examples = []
+    for _ in range(n_examples):
+        shapes = choose_distinct(rng, SHAPES, n_shapes)
+        # Chain placements: shape[i+1] relative to shape[i].
+        coords: dict[str, tuple[int, int]] = {shapes[0]: (0, 0)}
+        story: list[Sentence] = []
+        for i in range(1, n_shapes):
+            anchor = shapes[i - 1]
+            direction = choose(rng, list(_POSITION_PHRASES))
+            dx, dy = DIRECTION_DELTA[direction]
+            ax, ay = coords[anchor]
+            coords[shapes[i]] = (ax + dx, ay + dy)
+            story.append(
+                Sentence.from_text(
+                    f"the {shapes[i]} is {_POSITION_PHRASES[direction]} the {anchor}"
+                )
+            )
+        a, b = choose_distinct(rng, shapes, 2)
+        direction = choose(rng, list(_POSITION_PHRASES))
+        dx, dy = DIRECTION_DELTA[direction]
+        ax, ay = coords[a]
+        bx, by = coords[b]
+        # Relation holds when a is strictly displaced from b along the axis.
+        if dx:
+            holds = (ax - bx) * dx > 0
+        else:
+            holds = (ay - by) * dy > 0
+        question = Sentence.from_text(
+            f"is the {a} {_POSITION_PHRASES[direction]} the {b}"
+        )
+        answer = "yes" if holds else "no"
+        supporting = tuple(range(len(story)))
+        examples.append(QAExample(17, story, question, answer, supporting))
+    return examples
+
+
+def generate_task18(
+    rng: np.random.Generator,
+    n_examples: int,
+    n_items: int = 4,
+) -> list[QAExample]:
+    """Task 18: size reasoning via transitive "fits inside" facts."""
+    examples = []
+    for _ in range(n_examples):
+        items = choose_distinct(rng, CONTAINERS, n_items)
+        # items[0] < items[1] < ... in size; narrate adjacent facts shuffled.
+        sentences = [
+            Sentence.from_text(f"the {items[i]} fits inside the {items[i + 1]}")
+            for i in range(n_items - 1)
+        ]
+        order = rng.permutation(len(sentences)).tolist()
+        story = [sentences[i] for i in order]
+        a_idx, b_idx = sorted(
+            rng.choice(n_items, size=2, replace=False).tolist()
+        )
+        a, b = items[a_idx], items[b_idx]  # a is smaller than b
+        if rng.random() < 0.5:
+            question = Sentence.from_text(f"does the {a} fit inside the {b}")
+            answer = "yes"
+        else:
+            question = Sentence.from_text(f"does the {b} fit inside the {a}")
+            answer = "no"
+        chain = set(range(min(a_idx, b_idx), max(a_idx, b_idx)))
+        supporting = tuple(
+            sorted(pos for pos, original in enumerate(order) if original in chain)
+        )
+        examples.append(QAExample(18, story, question, answer, supporting))
+    return examples

@@ -1,0 +1,113 @@
+"""Tasks 4 and 5: two- and three-argument relations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.babi.story import QAExample, Sentence
+from repro.babi.world import (
+    DIRECTIONS,
+    OPPOSITE_DIRECTION,
+    WorldConfig,
+    WorldState,
+    choose,
+    choose_distinct,
+)
+
+
+def generate_task4(
+    rng: np.random.Generator,
+    n_examples: int,
+    config: WorldConfig = WorldConfig(n_locations=6),
+    n_facts: tuple[int, int] = (2, 4),
+) -> list[QAExample]:
+    """Task 4: two-argument relations.
+
+    Facts like "the kitchen is north of the garden"; questions ask either
+    "what is north of the garden" or "what is the kitchen north of".
+    """
+    locations = config.locations()
+    examples = []
+    for _ in range(n_examples):
+        story: list[Sentence] = []
+        facts: list[tuple[str, str, str]] = []  # (a, direction, b)
+        n = int(rng.integers(n_facts[0], n_facts[1] + 1))
+        used_pairs: set[tuple[str, str]] = set()
+        while len(facts) < n:
+            a, b = choose_distinct(rng, locations, 2)
+            if (a, b) in used_pairs or (b, a) in used_pairs:
+                continue
+            used_pairs.add((a, b))
+            direction = choose(rng, DIRECTIONS)
+            story.append(Sentence.from_text(f"the {a} is {direction} of the {b}"))
+            facts.append((a, direction, b))
+        a, direction, b = facts[int(rng.integers(len(facts)))]
+        fact_index = next(
+            i for i, (fa, fd, fb) in enumerate(facts) if (fa, fd, fb) == (a, direction, b)
+        )
+        if rng.random() < 0.5:
+            question = Sentence.from_text(f"what is {direction} of the {b}")
+            answer = a
+        else:
+            # "the A is north of the B"  =>  "what is the B south of?" -> A
+            question = Sentence.from_text(
+                f"what is the {b} {OPPOSITE_DIRECTION[direction]} of"
+            )
+            answer = a
+        examples.append(QAExample(4, story, question, answer, (fact_index,)))
+    return examples
+
+
+def generate_task5(
+    rng: np.random.Generator,
+    n_examples: int,
+    config: WorldConfig = WorldConfig(),
+    n_facts: tuple[int, int] = (3, 8),
+) -> list[QAExample]:
+    """Task 5: three-argument relations ("mary gave the apple to john").
+
+    Questions: who gave X to Y / what did A give to Y / who received X.
+    """
+    actors = config.actors()
+    objects = config.objects()
+    examples = []
+    for _ in range(n_examples):
+        state = WorldState()
+        story: list[Sentence] = []
+        gives: list[tuple[str, str, str, int]] = []  # giver, obj, receiver, idx
+        # Seed ownership so gives are well defined.
+        owners: dict[str, str] = {}
+        for obj in objects:
+            owner = choose(rng, actors)
+            owners[obj] = owner
+            story.append(Sentence.from_text(f"{owner} picked up the {obj}"))
+            state.grab(owner, obj, len(story) - 1)
+        n = int(rng.integers(n_facts[0], n_facts[1] + 1))
+        for _ in range(n):
+            obj = choose(rng, objects)
+            giver = owners[obj]
+            receiver = choose(rng, [a for a in actors if a != giver])
+            story.append(
+                Sentence.from_text(f"{giver} gave the {obj} to {receiver}")
+            )
+            state.give(giver, receiver, obj, len(story) - 1)
+            owners[obj] = receiver
+            gives.append((giver, obj, receiver, len(story) - 1))
+        giver, obj, receiver, fact_index = gives[int(rng.integers(len(gives)))]
+        # Only the final transfer of an object is unambiguous for
+        # "who gave X" style questions; restrict to the last give of obj.
+        giver, obj, receiver, fact_index = next(
+            g for g in reversed(gives) if g[1] == obj
+        )
+        style = rng.random()
+        if style < 1 / 3:
+            question = Sentence.from_text(f"who gave the {obj} to {receiver}")
+            answer = giver
+        elif style < 2 / 3:
+            question = Sentence.from_text(f"what did {giver} give to {receiver}")
+            answer = obj
+        else:
+            question = Sentence.from_text(f"who did {giver} give the {obj} to")
+            answer = receiver
+        examples.append(QAExample(5, story, question, answer, (fact_index,)))
+    return examples

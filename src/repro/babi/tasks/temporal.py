@@ -1,0 +1,71 @@
+"""Task 14: time reasoning."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.babi.story import QAExample, Sentence
+from repro.babi.world import WorldConfig, choose
+
+# Ordered earliest -> latest; questions ask "where was X before the Y visit".
+TIME_SLOTS = (
+    "yesterday morning",
+    "yesterday afternoon",
+    "yesterday evening",
+    "this morning",
+    "this afternoon",
+    "this evening",
+)
+
+
+def generate_task14(
+    rng: np.random.Generator,
+    n_examples: int,
+    config: WorldConfig = WorldConfig(),
+    n_slots: tuple[int, int] = (3, 5),
+) -> list[QAExample]:
+    """Task 14: time reasoning.
+
+    An actor visits distinct locations at labelled times which are
+    narrated in shuffled order; the question asks where the actor was
+    immediately before a given visit, so the model must reconstruct the
+    timeline rather than rely on narration order.
+    """
+    actors = config.actors()
+    locations = config.locations()
+    examples = []
+    for _ in range(n_examples):
+        actor = choose(rng, actors)
+        k = int(rng.integers(n_slots[0], n_slots[1] + 1))
+        slot_ids = sorted(
+            rng.choice(len(TIME_SLOTS), size=k, replace=False).tolist()
+        )
+        visit_locations: list[str] = []
+        for _slot in slot_ids:
+            pool = [
+                loc for loc in locations
+                if not visit_locations or loc != visit_locations[-1]
+            ]
+            visit_locations.append(choose(rng, pool))
+
+        order = rng.permutation(k)
+        story: list[Sentence] = []
+        fact_of_visit: dict[int, int] = {}
+        for narration_pos, visit in enumerate(order.tolist()):
+            slot = TIME_SLOTS[slot_ids[visit]]
+            loc = visit_locations[visit]
+            story.append(
+                Sentence.from_text(f"{slot} {actor} went to the {loc}")
+            )
+            fact_of_visit[visit] = narration_pos
+        # Ask about a visit that has a predecessor in time.
+        target = int(rng.integers(1, k))
+        question = Sentence.from_text(
+            f"where was {actor} before the {visit_locations[target]}"
+        )
+        answer = visit_locations[target - 1]
+        supporting = tuple(
+            sorted({fact_of_visit[target], fact_of_visit[target - 1]})
+        )
+        examples.append(QAExample(14, story, question, answer, supporting))
+    return examples

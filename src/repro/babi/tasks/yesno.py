@@ -1,0 +1,129 @@
+"""Tasks 6, 9, 10: yes/no questions, negation, indefinite knowledge."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.babi.story import QAExample, Sentence
+from repro.babi.world import (
+    MOVE_VERBS,
+    WorldConfig,
+    WorldState,
+    choose,
+    choose_distinct,
+)
+
+
+def generate_task6(
+    rng: np.random.Generator,
+    n_examples: int,
+    config: WorldConfig = WorldConfig(),
+    n_facts: tuple[int, int] = (3, 8),
+) -> list[QAExample]:
+    """Task 6: yes/no questions ("is mary in the kitchen?")."""
+    actors = config.actors()
+    locations = config.locations()
+    examples = []
+    for _ in range(n_examples):
+        state = WorldState()
+        story: list[Sentence] = []
+        n = int(rng.integers(n_facts[0], n_facts[1] + 1))
+        for i in range(n):
+            actor = choose(rng, actors)
+            location = choose(rng, locations)
+            verb = choose(rng, MOVE_VERBS)
+            story.append(Sentence.from_text(f"{actor} {verb} the {location}"))
+            state.move(actor, location, i)
+        asked = choose(rng, list(state.actor_location))
+        actual = state.actor_location[asked]
+        if rng.random() < 0.5:
+            queried = actual
+            answer = "yes"
+        else:
+            queried = choose(rng, [loc for loc in locations if loc != actual])
+            answer = "no"
+        question = Sentence.from_text(f"is {asked} in the {queried}")
+        supporting = (state.actor_location_fact[asked],)
+        examples.append(QAExample(6, story, question, answer, supporting))
+    return examples
+
+
+def generate_task9(
+    rng: np.random.Generator,
+    n_examples: int,
+    config: WorldConfig = WorldConfig(),
+    n_facts: tuple[int, int] = (3, 7),
+) -> list[QAExample]:
+    """Task 9: simple negation ("mary is no longer in the kitchen")."""
+    actors = config.actors()
+    locations = config.locations()
+    examples = []
+    for _ in range(n_examples):
+        story: list[Sentence] = []
+        # location knowledge: actor -> (location, polarity, fact index)
+        knowledge: dict[str, tuple[str, bool, int]] = {}
+        n = int(rng.integers(n_facts[0], n_facts[1] + 1))
+        for i in range(n):
+            actor = choose(rng, actors)
+            location = choose(rng, locations)
+            if rng.random() < 0.3:
+                story.append(
+                    Sentence.from_text(f"{actor} is no longer in the {location}")
+                )
+                knowledge[actor] = (location, False, i)
+            else:
+                story.append(Sentence.from_text(f"{actor} is in the {location}"))
+                knowledge[actor] = (location, True, i)
+        asked = choose(rng, list(knowledge))
+        location, polarity, fact_index = knowledge[asked]
+        if rng.random() < 0.5:
+            # Ask about the mentioned location: yes if positive, no if negated.
+            question = Sentence.from_text(f"is {asked} in the {location}")
+            answer = "yes" if polarity else "no"
+        else:
+            other = choose(rng, [loc for loc in locations if loc != location])
+            question = Sentence.from_text(f"is {asked} in the {other}")
+            # Positive knowledge of being elsewhere implies "no";
+            # negated knowledge says nothing about other -> "maybe".
+            answer = "no" if polarity else "maybe"
+        examples.append(QAExample(9, story, question, answer, (fact_index,)))
+    return examples
+
+
+def generate_task10(
+    rng: np.random.Generator,
+    n_examples: int,
+    config: WorldConfig = WorldConfig(),
+    n_facts: tuple[int, int] = (3, 7),
+) -> list[QAExample]:
+    """Task 10: indefinite knowledge ("bill is either in the school or the park")."""
+    actors = config.actors()
+    locations = config.locations()
+    examples = []
+    for _ in range(n_examples):
+        story: list[Sentence] = []
+        # actor -> ("definite", loc, idx) or ("either", (a, b), idx)
+        knowledge: dict[str, tuple] = {}
+        n = int(rng.integers(n_facts[0], n_facts[1] + 1))
+        for i in range(n):
+            actor = choose(rng, actors)
+            if rng.random() < 0.4:
+                a, b = choose_distinct(rng, locations, 2)
+                story.append(
+                    Sentence.from_text(f"{actor} is either in the {a} or the {b}")
+                )
+                knowledge[actor] = ("either", (a, b), i)
+            else:
+                location = choose(rng, locations)
+                story.append(Sentence.from_text(f"{actor} is in the {location}"))
+                knowledge[actor] = ("definite", location, i)
+        asked = choose(rng, list(knowledge))
+        kind, info, fact_index = knowledge[asked]
+        queried = choose(rng, locations)
+        question = Sentence.from_text(f"is {asked} in the {queried}")
+        if kind == "definite":
+            answer = "yes" if queried == info else "no"
+        else:
+            answer = "maybe" if queried in info else "no"
+        examples.append(QAExample(10, story, question, answer, (fact_index,)))
+    return examples

@@ -1,0 +1,107 @@
+"""Read/write the original bAbI text format.
+
+The published dataset ships as plain-text files:
+
+    1 Mary moved to the bathroom.
+    2 John went to the hallway.
+    3 Where is Mary? 	bathroom	1
+
+Lines are numbered within a story; a question line carries the answer
+and the 1-based supporting-fact line numbers after tabs; numbering
+restarting at 1 opens a new story. This module converts between that
+format and :class:`~repro.babi.story.QAExample`, so anyone holding the
+real dataset can feed it through the identical pipeline (and our
+generators can emit files byte-compatible with bAbI tooling).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.babi.story import QAExample, Sentence
+
+
+def format_examples(examples: list[QAExample]) -> str:
+    """Render examples in the bAbI file format (one story each).
+
+    Multi-token answers (tasks 8/19) keep their comma-joined form,
+    matching the original files.
+    """
+    lines: list[str] = []
+    for example in examples:
+        number = 1
+        line_of_fact: dict[int, int] = {}
+        for fact_index, sentence in enumerate(example.story):
+            text = sentence.text().capitalize()
+            lines.append(f"{number} {text}.")
+            line_of_fact[fact_index] = number
+            number += 1
+        question_text = example.question.text().capitalize()
+        supports = " ".join(
+            str(line_of_fact[i]) for i in example.supporting
+        )
+        lines.append(f"{number} {question_text}?\t{example.answer}\t{supports}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_text(text: str, task_id: int = 0) -> list[QAExample]:
+    """Parse bAbI-format text into QA examples.
+
+    Every question line yields one example whose story is all statement
+    lines seen so far in the current story block (questions are not part
+    of the memory, as in MemN2N preprocessing).
+    """
+    examples: list[QAExample] = []
+    story: list[Sentence] = []
+    fact_of_line: dict[int, int] = {}
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        space = line.find(" ")
+        if space < 0:
+            raise ValueError(f"malformed bAbI line (no number): {line!r}")
+        try:
+            number = int(line[:space])
+        except ValueError:
+            raise ValueError(f"malformed bAbI line number: {line!r}") from None
+        body = line[space + 1 :]
+        if number == 1:
+            story = []
+            fact_of_line = {}
+
+        if "\t" in body:
+            question_part, answer, *rest = body.split("\t")
+            if not story:
+                raise ValueError(f"question before any facts: {line!r}")
+            supporting: list[int] = []
+            if rest and rest[0].strip():
+                for token in rest[0].split():
+                    fact_line = int(token)
+                    if fact_line not in fact_of_line:
+                        raise ValueError(
+                            f"supporting line {fact_line} not found: {line!r}"
+                        )
+                    supporting.append(fact_of_line[fact_line])
+            examples.append(
+                QAExample(
+                    task_id=task_id,
+                    story=list(story),
+                    question=Sentence.from_text(question_part),
+                    answer=answer.strip(),
+                    supporting=tuple(supporting),
+                )
+            )
+        else:
+            fact_of_line[number] = len(story)
+            story.append(Sentence.from_text(body))
+    return examples
+
+
+def write_babi_file(path: str | Path, examples: list[QAExample]) -> None:
+    Path(path).write_text(format_examples(examples))
+
+
+def read_babi_file(path: str | Path, task_id: int = 0) -> list[QAExample]:
+    return parse_text(Path(path).read_text(), task_id=task_id)

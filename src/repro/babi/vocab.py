@@ -1,0 +1,62 @@
+"""Vocabulary: word <-> index mapping with a reserved padding token."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+PAD_TOKEN = "<pad>"
+
+
+class Vocab:
+    """Bidirectional word/index mapping.
+
+    Index 0 is always the padding token, whose embedding row stays zero
+    so padded bag-of-words sums are unaffected (Eq. 2 of the paper relies
+    on summing only the real word columns).
+    """
+
+    def __init__(self, words: Iterable[str] = ()):
+        self._word_to_index: dict[str, int] = {PAD_TOKEN: 0}
+        self._index_to_word: list[str] = [PAD_TOKEN]
+        for word in words:
+            self.add(word)
+
+    @property
+    def pad_index(self) -> int:
+        return 0
+
+    def add(self, word: str) -> int:
+        word = word.lower()
+        if word in self._word_to_index:
+            return self._word_to_index[word]
+        index = len(self._index_to_word)
+        self._word_to_index[word] = index
+        self._index_to_word.append(word)
+        return index
+
+    def index(self, word: str) -> int:
+        try:
+            return self._word_to_index[word.lower()]
+        except KeyError:
+            raise KeyError(f"word {word!r} not in vocabulary") from None
+
+    def word(self, index: int) -> str:
+        return self._index_to_word[index]
+
+    def __contains__(self, word: str) -> bool:
+        return word.lower() in self._word_to_index
+
+    def __len__(self) -> int:
+        return len(self._index_to_word)
+
+    def words(self) -> list[str]:
+        return list(self._index_to_word)
+
+    @classmethod
+    def from_examples(cls, examples) -> "Vocab":
+        """Build a vocabulary covering every token of every example."""
+        vocab = cls()
+        for example in examples:
+            for token in example.all_tokens():
+                vocab.add(token)
+        return vocab

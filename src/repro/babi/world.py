@@ -1,0 +1,162 @@
+"""Story-world vocabulary pools and state tracking.
+
+The generators share a small world: named actors who move between
+locations, carry objects and hand them to each other. ``WorldState``
+tracks where everyone and everything is so that questions can be
+answered (and supporting facts recorded) exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+ACTORS = ("mary", "john", "sandra", "daniel", "fred", "bill", "julie", "jeff")
+LOCATIONS = (
+    "kitchen",
+    "garden",
+    "office",
+    "bathroom",
+    "bedroom",
+    "hallway",
+    "cinema",
+    "park",
+    "school",
+)
+OBJECTS = ("apple", "football", "milk", "book", "pajamas")
+MOVE_VERBS = ("went to", "travelled to", "moved to", "journeyed to")
+GRAB_VERBS = ("got", "grabbed", "took", "picked up")
+DROP_VERBS = ("dropped", "discarded", "left", "put down")
+
+# Pools used by the reasoning tasks that do not involve actors.
+ANIMALS = ("wolf", "mouse", "cat", "sheep", "swan", "lion", "frog", "rhino")
+ANIMAL_PLURALS = {
+    "wolf": "wolves",
+    "mouse": "mice",
+    "cat": "cats",
+    "sheep": "sheep",
+    "swan": "swans",
+    "lion": "lions",
+    "frog": "frogs",
+    "rhino": "rhinos",
+}
+ANIMAL_NAMES = ("gertrude", "lily", "bernhard", "brian", "greg", "julius", "emily", "winona")
+COLORS = ("white", "gray", "green", "yellow")
+SHAPES = ("triangle", "pink rectangle", "blue square", "red square", "red sphere")
+CONTAINERS = ("box", "suitcase", "chest", "chocolates box", "crate", "cupboard")
+DIRECTIONS = ("north", "south", "east", "west")
+DIRECTION_LETTER = {"north": "n", "south": "s", "east": "e", "west": "w"}
+DIRECTION_DELTA = {
+    "north": (0, 1),
+    "south": (0, -1),
+    "east": (1, 0),
+    "west": (-1, 0),
+}
+OPPOSITE_DIRECTION = {
+    "north": "south",
+    "south": "north",
+    "east": "west",
+    "west": "east",
+}
+MOTIVES = ("hungry", "thirsty", "tired", "bored")
+MOTIVE_TARGET = {
+    "hungry": "kitchen",
+    "thirsty": "kitchen",
+    "tired": "bedroom",
+    "bored": "garden",
+}
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Which pools (and how much of them) a generator draws from."""
+
+    n_actors: int = 4
+    n_locations: int = 6
+    n_objects: int = 3
+
+    def actors(self) -> tuple[str, ...]:
+        if not 1 <= self.n_actors <= len(ACTORS):
+            raise ValueError(f"n_actors must be in [1, {len(ACTORS)}]")
+        return ACTORS[: self.n_actors]
+
+    def locations(self) -> tuple[str, ...]:
+        if not 2 <= self.n_locations <= len(LOCATIONS):
+            raise ValueError(f"n_locations must be in [2, {len(LOCATIONS)}]")
+        return LOCATIONS[: self.n_locations]
+
+    def objects(self) -> tuple[str, ...]:
+        if not 1 <= self.n_objects <= len(OBJECTS):
+            raise ValueError(f"n_objects must be in [1, {len(OBJECTS)}]")
+        return OBJECTS[: self.n_objects]
+
+
+@dataclass
+class WorldState:
+    """Mutable ground truth of the actor/object/location world.
+
+    Every mutation records the index of the sentence that caused it, so
+    question generators can cite supporting facts precisely.
+    """
+
+    actor_location: dict[str, str] = field(default_factory=dict)
+    actor_location_fact: dict[str, int] = field(default_factory=dict)
+    holding: dict[str, list[str]] = field(default_factory=dict)
+    holding_fact: dict[tuple[str, str], int] = field(default_factory=dict)
+    object_location_history: dict[str, list[tuple[str, int]]] = field(default_factory=dict)
+
+    def move(self, actor: str, location: str, fact_index: int) -> None:
+        self.actor_location[actor] = location
+        self.actor_location_fact[actor] = fact_index
+        for obj in self.holding.get(actor, []):
+            self._record_object_location(obj, location, fact_index)
+
+    def grab(self, actor: str, obj: str, fact_index: int) -> None:
+        self.holding.setdefault(actor, []).append(obj)
+        self.holding_fact[(actor, obj)] = fact_index
+        location = self.actor_location.get(actor)
+        if location is not None:
+            self._record_object_location(obj, location, fact_index)
+
+    def drop(self, actor: str, obj: str, fact_index: int) -> None:
+        carried = self.holding.get(actor, [])
+        if obj not in carried:
+            raise ValueError(f"{actor} is not holding {obj}")
+        carried.remove(obj)
+        self.holding_fact.pop((actor, obj), None)
+
+    def give(self, giver: str, receiver: str, obj: str, fact_index: int) -> None:
+        self.drop(giver, obj, fact_index)
+        self.grab(receiver, obj, fact_index)
+
+    def carried_by(self, actor: str) -> list[str]:
+        return list(self.holding.get(actor, []))
+
+    def carrier_of(self, obj: str) -> str | None:
+        for actor, objs in self.holding.items():
+            if obj in objs:
+                return actor
+        return None
+
+    def location_of_object(self, obj: str) -> str | None:
+        history = self.object_location_history.get(obj)
+        return history[-1][0] if history else None
+
+    def _record_object_location(self, obj: str, location: str, fact_index: int) -> None:
+        history = self.object_location_history.setdefault(obj, [])
+        if not history or history[-1][0] != location:
+            history.append((location, fact_index))
+
+
+def choose(rng: np.random.Generator, pool) -> str:
+    """Pick one element of ``pool`` uniformly (numpy Generator helper)."""
+    return pool[int(rng.integers(len(pool)))]
+
+
+def choose_distinct(rng: np.random.Generator, pool, count: int) -> list[str]:
+    """Pick ``count`` distinct elements of ``pool`` uniformly."""
+    if count > len(pool):
+        raise ValueError(f"cannot pick {count} distinct items from {len(pool)}")
+    indices = rng.choice(len(pool), size=count, replace=False)
+    return [pool[int(i)] for i in indices]

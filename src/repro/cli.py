@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <experiment> [options]``.
+
+Subcommands regenerate the paper's tables and figures from the terminal
+without writing any code:
+
+    python -m repro table1 --tasks 1 2 3 --n-test 40
+    python -m repro fig3
+    python -m repro fig4
+    python -m repro ablation
+    python -m repro resources
+    python -m repro tasks           # list the 20 bAbI task generators
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.babi.tasks import TASK_NAMES, all_task_ids
+from repro.eval.experiments import (
+    run_fig3,
+    run_fig4,
+    run_interface_ablation,
+    run_table1,
+)
+from repro.eval.suite import BabiSuite, SuiteConfig
+from repro.hw import HwConfig, estimate_resources
+from repro.mann.config import MannConfig
+from repro.utils.tables import TextTable
+
+
+def _add_suite_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--tasks",
+        type=int,
+        nargs="+",
+        default=list(all_task_ids()),
+        help="bAbI task ids (default: all 20)",
+    )
+    parser.add_argument("--n-train", type=int, default=150)
+    parser.add_argument("--n-test", type=int, default=50)
+    parser.add_argument("--epochs", type=int, default=30)
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _build_suite(args: argparse.Namespace) -> BabiSuite:
+    print(
+        f"building suite: {len(args.tasks)} tasks, "
+        f"{args.n_train} train / {args.n_test} test examples each ...",
+        file=sys.stderr,
+    )
+    return BabiSuite.build(
+        SuiteConfig(
+            task_ids=tuple(args.tasks),
+            n_train=args.n_train,
+            n_test=args.n_test,
+            epochs=args.epochs,
+            seed=args.seed,
+        )
+    )
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    result = run_table1(_build_suite(args))
+    print(result.to_table().render())
+    print("\nITH inference-time reduction:")
+    for mhz in result.frequencies:
+        print(f"  {mhz:5.0f} MHz: {100 * result.ith_time_reduction(mhz):5.1f}%")
+
+
+def _cmd_fig3(args: argparse.Namespace) -> None:
+    print(run_fig3(_build_suite(args)).to_table().render())
+
+
+def _cmd_fig4(args: argparse.Namespace) -> None:
+    print(run_fig4(_build_suite(args)).to_table().render())
+
+
+def _cmd_ablation(args: argparse.Namespace) -> None:
+    print(run_interface_ablation(_build_suite(args)).to_table().render())
+
+
+def _cmd_resources(args: argparse.Namespace) -> None:
+    config = HwConfig().with_embed_dim(args.embed_dim)
+    model = MannConfig(
+        vocab_size=args.vocab,
+        embed_dim=args.embed_dim,
+        memory_size=args.memory,
+    )
+    estimate = estimate_resources(config, model)
+    table = TextTable(
+        ["resource", "used", "utilisation"],
+        title="Estimated VCU107 utilisation (Fig. 1 design)",
+    )
+    capacities = {
+        "LUT": estimate.luts,
+        "FF": estimate.ffs,
+        "DSP": estimate.dsps,
+        "BRAM": f"{estimate.bram_kb:.0f} kB",
+    }
+    for name, fraction in estimate.utilisation().items():
+        table.add_row([name, str(capacities[name]), f"{fraction * 100:.2f}%"])
+    print(table.render())
+    print("fits on the device" if estimate.fits() else "DOES NOT FIT")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    from repro.hw.sweep import (
+        WorkloadShape,
+        frequency_sweep,
+        interface_latency_sweep,
+        lane_width_sweep,
+        sweep_table,
+    )
+
+    workload = WorkloadShape(output_visited=args.vocab)
+    model = MannConfig(
+        vocab_size=args.vocab, embed_dim=args.embed_dim, memory_size=20
+    )
+    if args.kind == "frequency":
+        print(sweep_table(frequency_sweep(workload, model), "Clock sweep").render())
+    elif args.kind == "width":
+        print(
+            sweep_table(
+                lane_width_sweep(workload, vocab_size=args.vocab),
+                "Model-width sweep",
+            ).render()
+        )
+    else:
+        points = interface_latency_sweep(workload, model)
+        table = TextTable(
+            ["txn latency (us)", "wall (s)", "power (W)"],
+            title="Interface-latency sweep @ 100 MHz",
+        )
+        for latency_us, point in points:
+            table.add_row(
+                [
+                    f"{latency_us:.2f}",
+                    f"{point.wall_seconds:.4f}",
+                    f"{point.average_power_w:.2f}",
+                ]
+            )
+        print(table.render())
+
+
+def _cmd_tasks(_args: argparse.Namespace) -> None:
+    table = TextTable(["id", "task"], title="Implemented bAbI task generators")
+    for task_id in all_task_ids():
+        table.add_row([str(task_id), TASK_NAMES[task_id]])
+    print(table.render())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce Park et al., DATE 2019 (MANN FPGA accelerator)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    for name, handler, needs_suite in (
+        ("table1", _cmd_table1, True),
+        ("fig3", _cmd_fig3, True),
+        ("fig4", _cmd_fig4, True),
+        ("ablation", _cmd_ablation, True),
+    ):
+        sub = subparsers.add_parser(name, help=f"reproduce {name}")
+        _add_suite_arguments(sub)
+        sub.set_defaults(handler=handler)
+
+    resources = subparsers.add_parser(
+        "resources", help="estimate FPGA resource utilisation"
+    )
+    resources.add_argument("--vocab", type=int, default=170)
+    resources.add_argument("--embed-dim", type=int, default=20)
+    resources.add_argument("--memory", type=int, default=20)
+    resources.set_defaults(handler=_cmd_resources)
+
+    tasks = subparsers.add_parser("tasks", help="list bAbI task generators")
+    tasks.set_defaults(handler=_cmd_tasks)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="analytic design-space sweeps (clock / model width)"
+    )
+    sweep.add_argument("--vocab", type=int, default=170)
+    sweep.add_argument("--embed-dim", type=int, default=20)
+    sweep.add_argument(
+        "--kind", choices=("frequency", "width", "interface"), default="frequency"
+    )
+    sweep.set_defaults(handler=_cmd_sweep)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.handler(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

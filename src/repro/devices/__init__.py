@@ -1,0 +1,17 @@
+"""Analytic CPU/GPU baseline device models.
+
+The paper compares the FPGA against an Intel i9-7900X CPU and an NVIDIA
+TITAN V GPU running the same pre-trained MANN. Offline we model both
+devices analytically, driven by the identical per-example operation
+trace used by the FPGA energy model: the GPU pays a fixed kernel-launch
+overhead per primitive op (which dominates for the MANN's tiny recurrent
+matvecs and is why MANNs are "difficult to parallelize on CPUs or
+GPUs"), the CPU pays a smaller per-op dispatch cost but has lower
+arithmetic throughput, and both draw their class-typical package power.
+"""
+
+from repro.devices.base import DeviceModel, DeviceReport
+from repro.devices.cpu import CpuModel
+from repro.devices.gpu import GpuModel
+
+__all__ = ["DeviceModel", "DeviceReport", "CpuModel", "GpuModel"]

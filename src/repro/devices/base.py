@@ -1,0 +1,43 @@
+"""Shared interface of the baseline device models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.opcounts import ExampleOpCounts
+
+
+@dataclass
+class DeviceReport:
+    """Time/power/energy of one workload run on a device."""
+
+    device: str
+    seconds: float
+    power_w: float
+    ops: ExampleOpCounts
+
+    @property
+    def energy_joules(self) -> float:
+        return self.seconds * self.power_w
+
+    @property
+    def flops(self) -> int:
+        return self.ops.flops
+
+    def flops_per_kilojoule(self) -> float:
+        return self.flops / (self.energy_joules / 1e3)
+
+
+class DeviceModel:
+    """Base class: maps an operation trace to a :class:`DeviceReport`."""
+
+    name = "device"
+
+    def run(self, ops: ExampleOpCounts, n_examples: int) -> DeviceReport:
+        """Run a workload of ``ops`` split over ``n_examples`` inferences."""
+        raise NotImplementedError
+
+    def _report(self, seconds: float, power: float, ops: ExampleOpCounts) -> DeviceReport:
+        if seconds <= 0:
+            raise ValueError("model produced non-positive time")
+        return DeviceReport(self.name, seconds, power, ops)

@@ -1,0 +1,48 @@
+"""i9-7900X-class CPU model.
+
+The CPU dispatches the same primitive op graph with a much smaller
+per-op cost than a GPU kernel launch but achieves far lower effective
+throughput on the tiny matvecs (little SIMD utilisation, cold branch
+behaviour in the recurrent loop). Net effect, as the paper measured:
+the CPU is roughly at parity with the GPU in time (0.94x speedup) while
+drawing about half the power.
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import DeviceModel, DeviceReport
+from repro.hw.calibration import CalibrationConstants, DEFAULT_CALIBRATION
+from repro.hw.opcounts import ExampleOpCounts
+
+
+class CpuModel(DeviceModel):
+    """Per-op dispatch + roofline timing at package power."""
+
+    name = "CPU"
+
+    def __init__(self, calibration: CalibrationConstants = DEFAULT_CALIBRATION):
+        self.calibration = calibration
+
+    def run(self, ops: ExampleOpCounts, n_examples: int) -> DeviceReport:
+        c = self.calibration
+        if n_examples < 1:
+            raise ValueError("n_examples must be >= 1")
+        dispatch_time = ops.kernel_launches * c.cpu_op_dispatch_overhead
+        compute_time = ops.flops / c.cpu_flops_effective
+        memory_time = (
+            (ops.sram_reads + ops.sram_writes)
+            * c.bytes_per_word
+            / c.cpu_memory_bandwidth
+        )
+        seconds = dispatch_time + compute_time + memory_time
+        return self._report(seconds, c.cpu_power, ops)
+
+    def time_breakdown(self, ops: ExampleOpCounts, n_examples: int) -> dict[str, float]:
+        c = self.calibration
+        return {
+            "dispatch": ops.kernel_launches * c.cpu_op_dispatch_overhead,
+            "compute": ops.flops / c.cpu_flops_effective,
+            "memory": (ops.sram_reads + ops.sram_writes)
+            * c.bytes_per_word
+            / c.cpu_memory_bandwidth,
+        }

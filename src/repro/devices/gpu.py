@@ -1,0 +1,56 @@
+"""TITAN V-class GPU model.
+
+Inference of a MANN issues a long chain of tiny dependent kernels
+(per-sentence embeddings, per-hop addressing/softmax/read/controller,
+the output matvec). Each kernel pays a fixed launch/sync overhead that
+far exceeds its arithmetic at bAbI sizes, so the model is launch-bound —
+the mechanism behind the paper's observation that the GPU gains nothing
+from its compute throughput on this workload, and that inference
+thresholding "did not have a significant effect" there (the output
+layer is one parallel kernel, not a sequential scan).
+"""
+
+from __future__ import annotations
+
+from repro.devices.base import DeviceModel, DeviceReport
+from repro.hw.calibration import CalibrationConstants, DEFAULT_CALIBRATION
+from repro.hw.opcounts import ExampleOpCounts
+
+
+class GpuModel(DeviceModel):
+    """Launch-overhead + roofline timing, constant measured-class power."""
+
+    name = "GPU"
+
+    def __init__(self, calibration: CalibrationConstants = DEFAULT_CALIBRATION):
+        self.calibration = calibration
+
+    def run(self, ops: ExampleOpCounts, n_examples: int) -> DeviceReport:
+        c = self.calibration
+        if n_examples < 1:
+            raise ValueError("n_examples must be >= 1")
+        launch_time = ops.kernel_launches * c.gpu_kernel_launch_overhead
+        compute_time = ops.flops / c.gpu_flops_effective
+        # Weights stay resident; per-example input/output crosses PCIe.
+        bytes_moved = (
+            (ops.stream_words_in + ops.stream_words_out) * c.bytes_per_word
+        )
+        transfer_time = (
+            bytes_moved / c.gpu_transfer_bandwidth
+            + 2 * n_examples * c.gpu_transfer_latency
+        )
+        seconds = launch_time + compute_time + transfer_time
+        return self._report(seconds, c.gpu_power, ops)
+
+    def time_breakdown(self, ops: ExampleOpCounts, n_examples: int) -> dict[str, float]:
+        """Seconds by source, for the analysis examples."""
+        c = self.calibration
+        bytes_moved = (
+            (ops.stream_words_in + ops.stream_words_out) * c.bytes_per_word
+        )
+        return {
+            "kernel_launch": ops.kernel_launches * c.gpu_kernel_launch_overhead,
+            "compute": ops.flops / c.gpu_flops_effective,
+            "transfer": bytes_moved / c.gpu_transfer_bandwidth
+            + 2 * n_examples * c.gpu_transfer_latency,
+        }

@@ -1,0 +1,28 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+* :mod:`repro.eval.suite` — builds the 20-task bAbI suite with a shared
+  vocabulary, trains one MANN per task and fits inference-thresholding
+  state (the "pre-trained models" the paper's host streams to devices).
+* :mod:`repro.eval.experiments.table1` — Table I (time/power/speedup/
+  FLOPS-per-kJ for CPU, GPU and FPGA at four frequencies, with and
+  without inference thresholding).
+* :mod:`repro.eval.experiments.fig3` — Fig. 3 (accuracy and comparison
+  counts vs the thresholding constant rho, with/without index ordering).
+* :mod:`repro.eval.experiments.fig4` — Fig. 4 (per-task energy
+  efficiency normalised to the GPU).
+* :mod:`repro.eval.experiments.interface_ablation` — the Section V
+  estimate of efficiency with the host interface removed (~162x).
+* :mod:`repro.eval.experiments.logit_distributions` — Fig. 2b logit
+  mixture summaries.
+"""
+
+from repro.eval.metrics import EfficiencyRow, normalise_to_gpu
+from repro.eval.suite import BabiSuite, SuiteConfig, TaskSystem
+
+__all__ = [
+    "BabiSuite",
+    "SuiteConfig",
+    "TaskSystem",
+    "EfficiencyRow",
+    "normalise_to_gpu",
+]

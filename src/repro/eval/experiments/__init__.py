@@ -1,0 +1,33 @@
+"""One module per reproduced table/figure plus the text-claim ablations."""
+
+from repro.eval.experiments.fig3 import Fig3Result, run_fig3
+from repro.eval.experiments.fig4 import Fig4Result, run_fig4
+from repro.eval.experiments.interface_ablation import (
+    InterfaceAblationResult,
+    run_interface_ablation,
+)
+from repro.eval.experiments.logit_distributions import (
+    LogitDistributionSummary,
+    summarise_logit_distributions,
+)
+from repro.eval.experiments.table1 import (
+    FpgaArtifacts,
+    Table1Result,
+    collect_fpga_artifacts,
+    run_table1,
+)
+
+__all__ = [
+    "run_table1",
+    "Table1Result",
+    "FpgaArtifacts",
+    "collect_fpga_artifacts",
+    "run_fig3",
+    "Fig3Result",
+    "run_fig4",
+    "Fig4Result",
+    "run_interface_ablation",
+    "InterfaceAblationResult",
+    "summarise_logit_distributions",
+    "LogitDistributionSummary",
+]

@@ -1,0 +1,133 @@
+"""Fig. 3: accuracy and comparison counts vs the thresholding constant.
+
+Sweeps rho over {no-ITH, 1.0, 0.99, 0.95, 0.9} with and without the
+silhouette index ordering, aggregated over every task of the suite.
+Both axes are normalised as in the paper: accuracy relative to the
+no-thresholding accuracy, comparisons relative to the full |I| scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.suite import BabiSuite, TaskSystem
+from repro.mips.exact import ExactMips
+from repro.mips.thresholding import InferenceThresholding
+from repro.utils.tables import TextTable, format_float
+
+PAPER_RHOS = (1.0, 0.99, 0.95, 0.9)
+
+
+@dataclass
+class Fig3Point:
+    """One sweep point (a bar pair in the paper's figure)."""
+
+    rho: float | None  # None = no inference thresholding
+    index_ordering: bool
+    accuracy: float
+    mean_comparisons: float
+    normalised_accuracy: float = 0.0
+    normalised_comparisons: float = 0.0
+
+
+@dataclass
+class Fig3Result:
+    points: list[Fig3Point]
+
+    def series(self, index_ordering: bool) -> list[Fig3Point]:
+        return [
+            p
+            for p in self.points
+            if p.index_ordering == index_ordering or p.rho is None
+        ]
+
+    def point(self, rho: float | None, index_ordering: bool = True) -> Fig3Point:
+        for p in self.points:
+            if p.rho == rho and (p.rho is None or p.index_ordering == index_ordering):
+                return p
+        raise KeyError((rho, index_ordering))
+
+    def to_table(self) -> TextTable:
+        table = TextTable(
+            ["rho", "ordering", "accuracy", "acc (norm)", "comparisons (norm)"],
+            title="Fig. 3 — inference thresholding sweep on the bAbI suite",
+        )
+        for p in self.points:
+            table.add_row(
+                [
+                    "w/o ITH" if p.rho is None else f"{p.rho:.2f}",
+                    "-" if p.rho is None else ("yes" if p.index_ordering else "no"),
+                    format_float(p.accuracy, 4),
+                    format_float(p.normalised_accuracy, 4),
+                    format_float(p.normalised_comparisons, 4),
+                ]
+            )
+        return table
+
+
+def _queries_and_answers(system: TaskSystem) -> tuple[np.ndarray, np.ndarray]:
+    """Final controller outputs h_T and true labels of a task's test set."""
+    batch = system.test_batch
+    queries = np.stack(
+        [
+            system.engine.forward_trace(
+                batch.stories[i], batch.questions[i], int(batch.story_lengths[i])
+            ).h_final
+            for i in range(len(batch))
+        ]
+    )
+    return queries, batch.answers
+
+
+def run_fig3(
+    suite: BabiSuite,
+    rhos: tuple[float, ...] = PAPER_RHOS,
+) -> Fig3Result:
+    """Sweep rho x ordering over the full suite."""
+    per_task = {
+        task_id: _queries_and_answers(system)
+        for task_id, system in suite.tasks.items()
+    }
+
+    def evaluate(engine_factory) -> tuple[float, float]:
+        correct = total = comparisons = 0
+        for task_id, (queries, answers) in per_task.items():
+            engine = engine_factory(suite.tasks[task_id])
+            for query, answer in zip(queries, answers):
+                result = engine.search(query)
+                correct += int(result.label == int(answer))
+                comparisons += result.comparisons
+                total += 1
+        return correct / total, comparisons / total
+
+    points: list[Fig3Point] = []
+    base_accuracy, base_comparisons = evaluate(
+        lambda system: ExactMips(system.weights.w_o)
+    )
+    points.append(
+        Fig3Point(None, True, base_accuracy, base_comparisons, 1.0, 1.0)
+    )
+
+    for rho in rhos:
+        for ordering in (True, False):
+            accuracy, mean_cmp = evaluate(
+                lambda system, rho=rho, ordering=ordering: InferenceThresholding(
+                    system.weights.w_o,
+                    system.threshold_model,
+                    rho=rho,
+                    use_index_ordering=ordering,
+                )
+            )
+            points.append(
+                Fig3Point(
+                    rho,
+                    ordering,
+                    accuracy,
+                    mean_cmp,
+                    accuracy / base_accuracy,
+                    mean_cmp / base_comparisons,
+                )
+            )
+    return Fig3Result(points)

@@ -1,0 +1,97 @@
+"""Fig. 4: per-task energy efficiency normalised to the GPU.
+
+Series: CPU, GPU (=1), FPGA 25 MHz, FPGA+ITH 25 MHz, FPGA 100 MHz and
+FPGA+ITH 100 MHz, one value per bAbI task. Tasks differ in story
+length, sentence length and answer distribution, which spreads the
+per-task ratios — the structure behind the paper's 19x-534x spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices import CpuModel, GpuModel
+from repro.eval.experiments.table1 import FpgaArtifacts, collect_fpga_artifacts
+from repro.eval.metrics import efficiency_ratio
+from repro.eval.suite import BabiSuite
+from repro.eval.workload import nominal_ops
+from repro.hw.config import HwConfig
+from repro.utils.tables import TextTable, format_ratio
+
+FIG4_SERIES = (
+    "CPU",
+    "GPU",
+    "FPGA 25 MHz",
+    "FPGA+ITH 25 MHz",
+    "FPGA 100 MHz",
+    "FPGA+ITH 100 MHz",
+)
+
+
+@dataclass
+class Fig4Result:
+    """energy_efficiency[series][task_id] normalised to the GPU."""
+
+    series: dict[str, dict[int, float]]
+    task_ids: list[int]
+
+    def best_config_per_task(self) -> dict[int, str]:
+        best = {}
+        for task_id in self.task_ids:
+            best[task_id] = max(
+                self.series, key=lambda name: self.series[name][task_id]
+            )
+        return best
+
+    def to_table(self) -> TextTable:
+        table = TextTable(
+            ["task"] + list(self.series),
+            title="Fig. 4 — per-task energy efficiency vs GPU",
+        )
+        for task_id in self.task_ids:
+            table.add_row(
+                [str(task_id)]
+                + [format_ratio(self.series[name][task_id]) for name in self.series]
+            )
+        return table
+
+
+def run_fig4(
+    suite: BabiSuite,
+    base_config: HwConfig | None = None,
+    frequencies: tuple[float, float] = (25.0, 100.0),
+    rho: float = 1.0,
+) -> Fig4Result:
+    base_config = base_config or HwConfig()
+    calibration = base_config.calibration
+    fpga_plain = collect_fpga_artifacts(suite, base_config, ith=False)
+    fpga_ith = collect_fpga_artifacts(suite, base_config, ith=True, rho=rho)
+
+    series: dict[str, dict[int, float]] = {name: {} for name in FIG4_SERIES}
+    for task_id in suite.task_ids:
+        system = suite.tasks[task_id]
+        ops = nominal_ops(
+            system.test_batch,
+            system.weights.config.embed_dim,
+            system.weights.config.hops,
+            system.vocab_size,
+        )
+        n = len(system.test_batch)
+        gpu = GpuModel(calibration).run(ops, n)
+        cpu = CpuModel(calibration).run(ops, n)
+        series["GPU"][task_id] = 1.0
+        series["CPU"][task_id] = efficiency_ratio(
+            cpu.seconds, cpu.energy_joules, gpu.seconds, gpu.energy_joules
+        )
+
+        for label, artifacts in (("FPGA", fpga_plain), ("FPGA+ITH", fpga_ith)):
+            for frequency in frequencies:
+                name = f"{label} {frequency:.0f} MHz"
+                artifact = artifacts[task_id]
+                seconds = artifact.wall_seconds(frequency)
+                energy = artifact.energy_joules(frequency, base_config)
+                series[name][task_id] = efficiency_ratio(
+                    seconds, energy, gpu.seconds, gpu.energy_joules
+                )
+
+    return Fig4Result(series=series, task_ids=list(suite.task_ids))

@@ -1,0 +1,104 @@
+"""Fig. 2b: logit mixture distributions of a trained model.
+
+Summarises, for the most frequent answer indices of one task, the two
+conditional distributions Algorithm 1 estimates — z_i when index i is
+the correct argmax vs when it is not — plus their separation and the
+silhouette coefficient that drives the visiting order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.suite import TaskSystem
+from repro.utils.tables import TextTable, format_float
+
+
+@dataclass
+class IndexDistribution:
+    index: int
+    word: str
+    n_positive: int
+    n_negative: int
+    positive_mean: float
+    negative_mean: float
+    separation: float  # (mu+ - mu-) / pooled std
+    silhouette: float
+    threshold_rho1: float
+
+
+@dataclass
+class LogitDistributionSummary:
+    task_id: int
+    rows: list[IndexDistribution]
+
+    def to_table(self) -> TextTable:
+        table = TextTable(
+            [
+                "index",
+                "word",
+                "n+",
+                "n-",
+                "mean z|y=i",
+                "mean z|y!=i",
+                "separation",
+                "silhouette",
+                "theta(rho=1)",
+            ],
+            title=f"Fig. 2b — logit mixtures, task {self.task_id}",
+        )
+        for r in self.rows:
+            table.add_row(
+                [
+                    str(r.index),
+                    r.word,
+                    str(r.n_positive),
+                    str(r.n_negative),
+                    format_float(r.positive_mean, 3),
+                    format_float(r.negative_mean, 3),
+                    format_float(r.separation, 2),
+                    format_float(r.silhouette, 3),
+                    format_float(r.threshold_rho1, 3),
+                ]
+            )
+        return table
+
+
+def summarise_logit_distributions(
+    system: TaskSystem,
+    vocab_words: list[str],
+    top_k: int = 8,
+) -> LogitDistributionSummary:
+    logits = system.train_logits
+    labels = system.train_batch.answers
+    predictions = logits.argmax(axis=1)
+    correct = predictions == labels
+    theta = system.threshold_model.thresholds(1.0)
+
+    counts = np.bincount(labels[correct], minlength=logits.shape[1])
+    top_indices = np.argsort(-counts)[:top_k]
+    rows = []
+    for index in top_indices:
+        if counts[index] == 0:
+            continue
+        pos = logits[correct & (labels == index), index]
+        neg = logits[correct & (labels != index), index]
+        pooled = np.sqrt((pos.var() + neg.var()) / 2) if neg.size else 0.0
+        rows.append(
+            IndexDistribution(
+                index=int(index),
+                word=vocab_words[index],
+                n_positive=int(pos.size),
+                n_negative=int(neg.size),
+                positive_mean=float(pos.mean()),
+                negative_mean=float(neg.mean()) if neg.size else float("nan"),
+                separation=float((pos.mean() - neg.mean()) / pooled)
+                if neg.size and pooled > 0
+                else float("inf"),
+                silhouette=float(system.threshold_model.silhouettes[index]),
+                threshold_rho1=float(theta[index]),
+            )
+        )
+    return LogitDistributionSummary(task_id=system.task_id, rows=rows)

@@ -1,0 +1,189 @@
+"""Table I: average time, power, speedup and FLOPS/kJ per configuration.
+
+Configurations: CPU, GPU, FPGA at 25/50/75/100 MHz, and FPGA with
+inference thresholding (rho = 1.0) at the same four frequencies.
+
+The FPGA event simulation runs once per (task, ITH setting) — cycle
+counts and op counts do not depend on the clock — and the wall time,
+energy and power are then evaluated at each frequency, exactly like
+re-clocking the same bitstream in the paper's measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.devices import CpuModel, GpuModel
+from repro.eval.metrics import EfficiencyRow, normalise_to_gpu
+from repro.eval.suite import BabiSuite, TaskSystem
+from repro.eval.workload import nominal_ops
+from repro.hw.accelerator import MannAccelerator
+from repro.hw.config import HwConfig
+from repro.hw.energy import EnergyModel
+from repro.hw.opcounts import ExampleOpCounts
+from repro.utils.tables import TextTable, format_float, format_ratio
+
+PAPER_FREQUENCIES_MHZ = (25.0, 50.0, 75.0, 100.0)
+
+
+@dataclass
+class FpgaArtifacts:
+    """Frequency-independent outcome of one task's accelerator run."""
+
+    task_id: int
+    cycles: int
+    interface_seconds: float
+    interface_energy: float
+    ops: ExampleOpCounts
+    accuracy: float
+    mean_comparisons: float
+    early_exit_rate: float
+
+    def wall_seconds(self, frequency_mhz: float) -> float:
+        return self.interface_seconds + self.cycles / (frequency_mhz * 1e6)
+
+    def energy_joules(self, frequency_mhz: float, config: HwConfig) -> float:
+        model = EnergyModel(config.calibration)
+        breakdown = model.run_energy(
+            self.ops,
+            self.interface_energy,
+            self.wall_seconds(frequency_mhz),
+            frequency_mhz,
+        )
+        return breakdown.total
+
+
+def collect_fpga_artifacts(
+    suite: BabiSuite,
+    base_config: HwConfig,
+    ith: bool,
+    rho: float = 1.0,
+    index_ordering: bool = True,
+) -> dict[int, FpgaArtifacts]:
+    """Run the event simulation for every task once."""
+    artifacts: dict[int, FpgaArtifacts] = {}
+    for task_id in suite.task_ids:
+        system = suite.tasks[task_id]
+        config = base_config.with_embed_dim(
+            system.weights.config.embed_dim
+        ).with_ith(ith, rho=rho, index_ordering=index_ordering)
+        accelerator = MannAccelerator(
+            system.weights, config, system.threshold_model
+        )
+        report = accelerator.run(system.test_batch)
+        artifacts[task_id] = FpgaArtifacts(
+            task_id=task_id,
+            cycles=report.total_cycles,
+            interface_seconds=report.interface_seconds,
+            interface_energy=report.energy.interface,
+            ops=report.ops,
+            accuracy=report.accuracy,
+            mean_comparisons=report.mean_comparisons,
+            early_exit_rate=report.early_exit_rate,
+        )
+    return artifacts
+
+
+@dataclass
+class Table1Result:
+    """All rows of Table I plus raw per-task artifacts."""
+
+    rows: list[EfficiencyRow]
+    fpga_plain: dict[int, FpgaArtifacts]
+    fpga_ith: dict[int, FpgaArtifacts]
+    accuracy_plain: float = 0.0
+    accuracy_ith: float = 0.0
+    frequencies: tuple[float, ...] = PAPER_FREQUENCIES_MHZ
+
+    def row(self, name: str) -> EfficiencyRow:
+        for r in self.rows:
+            if r.name == name:
+                return r
+        raise KeyError(name)
+
+    def ith_time_reduction(self, frequency_mhz: float) -> float:
+        """Fractional time saved by ITH at one frequency (paper: 6-18%)."""
+        plain = self.row(f"FPGA {frequency_mhz:.0f} MHz")
+        ith = self.row(f"FPGA+ITH {frequency_mhz:.0f} MHz")
+        return 1.0 - ith.seconds / plain.seconds
+
+    def to_table(self) -> TextTable:
+        table = TextTable(
+            ["Configuration", "Time (s)", "Power (W)", "Speedup", "FLOPS/kJ (norm)"],
+            title="Table I — average measurement results on the bAbI suite",
+        )
+        for row in self.rows:
+            table.add_row(
+                [
+                    row.name,
+                    format_float(row.seconds, 4),
+                    format_float(row.power_w, 2),
+                    format_ratio(row.speedup),
+                    format_ratio(row.energy_efficiency_vs_gpu),
+                ]
+            )
+        return table
+
+
+def run_table1(
+    suite: BabiSuite,
+    base_config: HwConfig | None = None,
+    frequencies: tuple[float, ...] = PAPER_FREQUENCIES_MHZ,
+    rho: float = 1.0,
+) -> Table1Result:
+    """Reproduce Table I on the suite's test sets."""
+    base_config = base_config or HwConfig()
+    calibration = base_config.calibration
+
+    # Shared nominal workload (full output scan) for the CPU/GPU rows
+    # and the FLOPS/kJ numerators of every row.
+    total_nominal = ExampleOpCounts()
+    n_examples = 0
+    for system in suite.tasks.values():
+        total_nominal = total_nominal + nominal_ops(
+            system.test_batch,
+            system.weights.config.embed_dim,
+            system.weights.config.hops,
+            system.vocab_size,
+        )
+        n_examples += len(system.test_batch)
+
+    gpu_report = GpuModel(calibration).run(total_nominal, n_examples)
+    cpu_report = CpuModel(calibration).run(total_nominal, n_examples)
+    rows = [
+        EfficiencyRow(
+            "CPU", cpu_report.seconds, cpu_report.power_w, total_nominal.flops
+        ),
+        EfficiencyRow(
+            "GPU", gpu_report.seconds, gpu_report.power_w, total_nominal.flops
+        ),
+    ]
+
+    fpga_plain = collect_fpga_artifacts(suite, base_config, ith=False)
+    fpga_ith = collect_fpga_artifacts(suite, base_config, ith=True, rho=rho)
+
+    for label, artifacts in (("FPGA", fpga_plain), ("FPGA+ITH", fpga_ith)):
+        for frequency in frequencies:
+            seconds = sum(a.wall_seconds(frequency) for a in artifacts.values())
+            energy = sum(
+                a.energy_joules(frequency, base_config) for a in artifacts.values()
+            )
+            rows.append(
+                EfficiencyRow(
+                    f"{label} {frequency:.0f} MHz",
+                    seconds,
+                    energy / seconds,
+                    total_nominal.flops,
+                )
+            )
+
+    normalise_to_gpu(rows)
+    n_tasks = max(1, len(suite.task_ids))
+    return Table1Result(
+        rows=rows,
+        fpga_plain=fpga_plain,
+        fpga_ith=fpga_ith,
+        accuracy_plain=sum(a.accuracy for a in fpga_plain.values()) / n_tasks,
+        accuracy_ith=sum(a.accuracy for a in fpga_ith.values()) / n_tasks,
+        frequencies=tuple(frequencies),
+    )

@@ -1,0 +1,66 @@
+"""Metrics shared by the experiment drivers.
+
+All Table I / Fig. 4 numbers are normalised to the GPU, following the
+paper: speedup = t_GPU / t_device, and energy efficiency "FLOPS/kJ" is
+the *FLOP rate per kilojoule* — (FLOPs / t) / (E / 1000). The paper's
+own Table I confirms this reading: every normalised FLOPS/kJ entry
+equals speedup x (E_GPU / E_device), e.g. the FPGA at 25 MHz gives
+5.21 x 16.1 = 83.9 (reported 83.74) and at 100 MHz 7.49 x 16.9 = 126.6
+(reported 126.72).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EfficiencyRow:
+    """One configuration's absolute and GPU-normalised results."""
+
+    name: str
+    seconds: float
+    power_w: float
+    flops: float
+    speedup: float = 0.0
+    flops_rate_per_kj: float = 0.0
+    energy_efficiency_vs_gpu: float = 0.0
+
+    @property
+    def energy_joules(self) -> float:
+        return self.seconds * self.power_w
+
+    @property
+    def flops_rate(self) -> float:
+        """Achieved FLOP/s on the nominal workload."""
+        return self.flops / self.seconds
+
+
+def efficiency_ratio(
+    device_seconds: float,
+    device_energy: float,
+    gpu_seconds: float,
+    gpu_energy: float,
+) -> float:
+    """FLOPS/kJ ratio vs GPU for an identical nominal workload.
+
+    Equals speedup x energy ratio; the FLOP count cancels.
+    """
+    if min(device_seconds, device_energy, gpu_seconds, gpu_energy) <= 0:
+        raise ValueError("times and energies must be positive")
+    return (gpu_seconds / device_seconds) * (gpu_energy / device_energy)
+
+
+def normalise_to_gpu(rows: list[EfficiencyRow], gpu_name: str = "GPU") -> list[EfficiencyRow]:
+    """Fill the normalised columns of every row in place."""
+    gpu = next((r for r in rows if r.name == gpu_name), None)
+    if gpu is None:
+        raise ValueError(f"no row named {gpu_name!r} to normalise against")
+    if gpu.seconds <= 0 or gpu.energy_joules <= 0:
+        raise ValueError("GPU row must have positive time and energy")
+    gpu_rate_per_kj = gpu.flops_rate / (gpu.energy_joules / 1e3)
+    for row in rows:
+        row.speedup = gpu.seconds / row.seconds
+        row.flops_rate_per_kj = row.flops_rate / (row.energy_joules / 1e3)
+        row.energy_efficiency_vs_gpu = row.flops_rate_per_kj / gpu_rate_per_kj
+    return rows

@@ -1,0 +1,169 @@
+"""The bAbI evaluation suite: data + trained models for all 20 tasks.
+
+The paper evaluates 20 bAbI tasks with per-task pre-trained models over
+the dataset's full vocabulary, so the output dimension |I| is the
+(large) union vocabulary — which is what makes the sequential output
+scan expensive and inference thresholding worthwhile. This module
+builds exactly that: one shared vocabulary across all tasks, one trained
+MANN per task, plus the fitted thresholding state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.babi.dataset import BabiDataset, EncodedBatch
+from repro.babi.story import QAExample
+from repro.babi.tasks import all_task_ids, get_generator
+from repro.babi.vocab import Vocab
+from repro.mann.config import MannConfig
+from repro.mann.inference import InferenceEngine
+from repro.mann.trainer import Trainer, TrainResult
+from repro.mann.model import MemoryNetwork
+from repro.mann.weights import MannWeights
+from repro.mips.thresholding import ThresholdModel, fit_threshold_model
+from repro.utils.rng import spawn_rngs
+
+
+@dataclass(frozen=True)
+class SuiteConfig:
+    """Size and training parameters of the evaluation suite."""
+
+    task_ids: tuple[int, ...] = tuple(range(1, 21))
+    n_train: int = 200
+    n_test: int = 100
+    embed_dim: int = 20
+    hops: int = 3
+    epochs: int = 40
+    lr: float = 0.01
+    batch_size: int = 32
+    seed: int = 7
+
+    def __post_init__(self):
+        if not self.task_ids:
+            raise ValueError("need at least one task")
+        if self.n_train < 1 or self.n_test < 1:
+            raise ValueError("n_train and n_test must be positive")
+
+
+@dataclass
+class TaskSystem:
+    """Everything needed to run one task on any device."""
+
+    task_id: int
+    train: BabiDataset
+    test: BabiDataset
+    train_batch: EncodedBatch
+    test_batch: EncodedBatch
+    weights: MannWeights
+    engine: InferenceEngine
+    threshold_model: ThresholdModel
+    train_result: TrainResult
+    train_logits: np.ndarray
+
+    @property
+    def vocab_size(self) -> int:
+        return self.train.vocab_size
+
+    @property
+    def test_accuracy(self) -> float:
+        return self.train_result.test_accuracy
+
+
+@dataclass
+class BabiSuite:
+    """All task systems plus the shared vocabulary."""
+
+    config: SuiteConfig
+    vocab: Vocab
+    tasks: dict[int, TaskSystem] = field(default_factory=dict)
+
+    @property
+    def task_ids(self) -> list[int]:
+        return sorted(self.tasks)
+
+    def mean_test_accuracy(self) -> float:
+        return float(
+            np.mean([t.test_accuracy for t in self.tasks.values()])
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, config: SuiteConfig = SuiteConfig()) -> "BabiSuite":
+        """Generate data, train per-task models, fit thresholding."""
+        unknown = set(config.task_ids) - set(all_task_ids())
+        if unknown:
+            raise ValueError(f"unknown task ids: {sorted(unknown)}")
+
+        rngs = spawn_rngs(config.seed, 2 * len(config.task_ids))
+        per_task_examples: dict[int, tuple[list[QAExample], list[QAExample]]] = {}
+        every_example: list[QAExample] = []
+        for pos, task_id in enumerate(config.task_ids):
+            generator = get_generator(task_id)
+            train_examples = generator(rngs[2 * pos], config.n_train)
+            test_examples = generator(rngs[2 * pos + 1], config.n_test)
+            per_task_examples[task_id] = (train_examples, test_examples)
+            every_example.extend(train_examples)
+            every_example.extend(test_examples)
+
+        vocab = Vocab.from_examples(every_example)
+        suite = cls(config=config, vocab=vocab)
+        for task_id in config.task_ids:
+            suite.tasks[task_id] = _build_task_system(
+                task_id, per_task_examples[task_id], vocab, config
+            )
+        return suite
+
+
+def _build_task_system(
+    task_id: int,
+    examples: tuple[list[QAExample], list[QAExample]],
+    vocab: Vocab,
+    config: SuiteConfig,
+) -> TaskSystem:
+    train_examples, test_examples = examples
+    probe = BabiDataset(train_examples + test_examples, vocab)
+    train = BabiDataset(train_examples, vocab, probe.memory_size, probe.sentence_len)
+    test = BabiDataset(test_examples, vocab, probe.memory_size, probe.sentence_len)
+
+    model_config = MannConfig(
+        vocab_size=len(vocab),
+        embed_dim=config.embed_dim,
+        memory_size=probe.memory_size,
+        hops=config.hops,
+        seed=config.seed + task_id,
+    )
+    model = MemoryNetwork(model_config)
+    trainer = Trainer(
+        model,
+        lr=config.lr,
+        batch_size=config.batch_size,
+        seed=config.seed + task_id,
+    )
+    train_batch = train.encode()
+    test_batch = test.encode()
+    result = trainer.fit(
+        train_batch, epochs=config.epochs, test=test_batch, target_accuracy=0.995
+    )
+    result.majority_accuracy = train.majority_baseline_accuracy()
+
+    weights = model.export_weights()
+    engine = InferenceEngine(weights)
+    train_logits = engine.logits_batch(
+        train_batch.stories, train_batch.questions, train_batch.story_lengths
+    )
+    threshold_model = fit_threshold_model(train_logits, train_batch.answers)
+    return TaskSystem(
+        task_id=task_id,
+        train=train,
+        test=test,
+        train_batch=train_batch,
+        test_batch=test_batch,
+        weights=weights,
+        engine=engine,
+        threshold_model=threshold_model,
+        train_result=result,
+        train_logits=train_logits,
+    )

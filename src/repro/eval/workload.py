@@ -1,0 +1,41 @@
+"""Nominal workload operation traces per task.
+
+Builds the per-device operation counts of running a task's test set:
+the CPU/GPU always execute the full output matvec (their output layer is
+one parallel primitive), while the FPGA's scan length depends on
+inference thresholding — those counts come from the accelerator run
+itself. FLOPS/kJ normalisation uses the *nominal* (full-scan) FLOPs for
+every configuration so the metric measures useful QA work per joule.
+"""
+
+from __future__ import annotations
+
+from repro.babi.dataset import EncodedBatch
+from repro.hw.opcounts import ExampleOpCounts, OpCounter
+
+
+def batch_word_counts(batch: EncodedBatch) -> list[tuple[list[int], int]]:
+    """(sentence word counts, question word count) per example."""
+    result = []
+    for i in range(len(batch)):
+        n_sentences = int(batch.story_lengths[i])
+        words = [
+            int((batch.stories[i, s] != 0).sum()) for s in range(n_sentences)
+        ]
+        q_words = int((batch.questions[i] != 0).sum())
+        result.append((words, q_words))
+    return result
+
+
+def nominal_ops(
+    batch: EncodedBatch,
+    embed_dim: int,
+    hops: int,
+    vocab_size: int,
+) -> ExampleOpCounts:
+    """Full-precision, full-output-scan op counts for a test batch."""
+    counter = OpCounter(embed_dim)
+    total = ExampleOpCounts()
+    for words, q_words in batch_word_counts(batch):
+        total = total + counter.example(words, q_words, hops, vocab_size)
+    return total

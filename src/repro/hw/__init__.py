@@ -1,0 +1,76 @@
+"""Cycle-level simulation of the FPGA accelerator (Fig. 1).
+
+Layers
+------
+``kernel``       generic discrete-event simulation engine (processes,
+                 timeouts, stores) — the substrate every module runs on.
+``fifo``         bounded FIFO channels with backpressure.
+``latency``      closed-form per-phase cycle counts derived from the
+                 microarchitecture (adder trees, exp/div pipelines).
+``modules``      the five Fig. 1 modules as event-driven processes.
+``accelerator``  top level: builds the dataflow, runs encoded QA
+                 examples, co-simulates against the golden engine.
+``timing``       analytic timing model (proven equal to the event
+                 simulation by tests; used for large parameter sweeps).
+``pcie``         host-interface (PCIe/FIFO stream) transfer model.
+``energy``       switching + static energy accounting -> power.
+``calibration``  all physical constants in one place, with provenance.
+``resources``    FPGA LUT/FF/DSP/BRAM utilisation estimates.
+"""
+
+from repro.hw.accelerator import AcceleratorReport, MannAccelerator
+from repro.hw.calibration import CalibrationConstants, DEFAULT_CALIBRATION
+from repro.hw.config import HwConfig
+from repro.hw.energy import EnergyBreakdown, EnergyModel
+from repro.hw.fifo import Fifo
+from repro.hw.kernel import Environment, Process
+from repro.hw.latency import LatencyParams, adder_tree_depth
+from repro.hw.opcounts import ExampleOpCounts, OpCounter
+from repro.hw.pcie import HostInterface, TransferStats
+from repro.hw.report import full_report
+from repro.hw.resources import ResourceEstimate, estimate_resources
+from repro.hw.sweep import (
+    DesignPoint,
+    WorkloadShape,
+    evaluate_design_point,
+    frequency_sweep,
+    interface_latency_sweep,
+    lane_width_sweep,
+)
+from repro.hw.streaming import StreamingReport, run_streaming
+from repro.hw.timing import CycleModel, PhaseCycles
+from repro.hw.verification import VerificationReport, verify_against_golden
+
+__all__ = [
+    "MannAccelerator",
+    "AcceleratorReport",
+    "HwConfig",
+    "CalibrationConstants",
+    "DEFAULT_CALIBRATION",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "Fifo",
+    "Environment",
+    "Process",
+    "LatencyParams",
+    "adder_tree_depth",
+    "OpCounter",
+    "ExampleOpCounts",
+    "HostInterface",
+    "TransferStats",
+    "ResourceEstimate",
+    "estimate_resources",
+    "CycleModel",
+    "PhaseCycles",
+    "full_report",
+    "VerificationReport",
+    "verify_against_golden",
+    "WorkloadShape",
+    "DesignPoint",
+    "evaluate_design_point",
+    "frequency_sweep",
+    "lane_width_sweep",
+    "interface_latency_sweep",
+    "StreamingReport",
+    "run_streaming",
+]

@@ -1,0 +1,77 @@
+"""Physical calibration constants for the energy/time models.
+
+The paper measured wall power on real hardware; a pure-Python
+reproduction cannot. Instead, per-operation switching energies follow
+the well-known Horowitz ISSCC 2014 numbers (scaled from 45 nm to a
+20 nm UltraScale-class process), static power and interface figures are
+set once to land the simulated FPGA in the paper's measured band
+(14.7 W at 25 MHz to 20.1 W at 100 MHz) — after which every *trend*
+(frequency scaling, ITH deltas, per-task spread, device ordering) is
+produced by the simulation, not copied from the paper.
+
+All energies are in joules, times in seconds, bandwidths in bytes/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CalibrationConstants:
+    """Every tunable physical constant of the reproduction."""
+
+    # -- FPGA switching energy per operation (J) ------------------------
+    # Horowitz ISSCC'14: 32-bit FP add ~0.9 pJ, FP mult ~3.7 pJ at 45 nm;
+    # scaled by ~0.4x for a 20 nm process, then multiplied by a fabric
+    # overhead factor ~10x for FPGA routing/configuration capacitance.
+    fpga_energy_mult: float = 15.0e-12
+    fpga_energy_add: float = 4.0e-12
+    fpga_energy_exp: float = 60.0e-12
+    fpga_energy_div: float = 80.0e-12
+    fpga_energy_compare: float = 2.0e-12
+    fpga_energy_sram_read: float = 5.0e-12  # per 32-bit word (BRAM)
+    fpga_energy_sram_write: float = 6.0e-12
+
+    # -- FPGA static/clock power (W) -------------------------------------
+    # VCU107 board power floor (fans, DDR PHY, transceivers, leakage).
+    fpga_static_power: float = 12.9
+    # Clock-tree + idle fabric dynamic power per MHz (W/MHz); gives the
+    # measured ~0.072 W/MHz slope between 25 and 100 MHz.
+    fpga_clock_power_per_mhz: float = 0.072
+
+    # -- Host interface (PCIe gen3 x8 with tiny FIFO transactions) ------
+    # Effective streaming bandwidth for small credit-based transfers is
+    # far below line rate; round-trip latency per transaction dominates
+    # and is frequency independent (the paper's interface bound).
+    pcie_bandwidth: float = 180.0e6  # bytes/s effective for FIFO streams
+    pcie_bulk_bandwidth: float = 2.5e9  # bytes/s for large DMA bursts
+    pcie_transaction_latency: float = 13.0e-6  # s per host<->FPGA message
+    pcie_energy_per_byte: float = 200.0e-12
+    bytes_per_word: int = 4  # fp32 stream words
+
+    # -- GPU baseline (NVIDIA TITAN V-class) ------------------------------
+    # MANN inference issues a chain of tiny dependent kernels; each pays
+    # a launch/sync cost far above its arithmetic at bAbI sizes.
+    gpu_kernel_launch_overhead: float = 7.5e-6  # s per kernel
+    gpu_flops_effective: float = 0.8e12  # small-matvec effective FLOP/s
+    gpu_memory_bandwidth: float = 650.0e9
+    gpu_power: float = 45.4  # W, measured-average class value
+    gpu_transfer_bandwidth: float = 6.0e9  # pinned host<->device
+    gpu_transfer_latency: float = 10.0e-6
+
+    # -- CPU baseline (Intel i9-7900X-class) ------------------------------
+    # Framework op-graph dispatch (TensorFlow-style) costs microseconds
+    # per primitive node, which dominates these tiny recurrent matvecs;
+    # the paper measured the CPU at 0.94x the GPU's speed.
+    cpu_op_dispatch_overhead: float = 8.7e-6  # s per primitive op node
+    cpu_flops_effective: float = 50.0e9  # effective on tiny matvecs
+    cpu_memory_bandwidth: float = 60.0e9
+    cpu_power: float = 23.3  # W package average under this load
+
+    def fpga_power_floor(self, frequency_mhz: float) -> float:
+        """Static + clock-tree power before datapath activity (W)."""
+        return self.fpga_static_power + self.fpga_clock_power_per_mhz * frequency_mhz
+
+
+DEFAULT_CALIBRATION = CalibrationConstants()

@@ -1,0 +1,64 @@
+"""Accelerator configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.hw.calibration import CalibrationConstants, DEFAULT_CALIBRATION
+from repro.hw.latency import LatencyParams
+
+
+@dataclass(frozen=True)
+class HwConfig:
+    """Static configuration of one accelerator instance.
+
+    ``frequency_mhz``     fabric clock (the paper sweeps 25/50/75/100)
+    ``latency``           datapath unit latencies / parallelism
+    ``fifo_depth``        depth of the inter-module FIFOs
+    ``ith_enabled``       inference thresholding in the OUTPUT module
+    ``ith_rho``           thresholding constant rho (paper default 1.0)
+    ``ith_index_ordering``  silhouette visiting order (Step 3)
+    ``overlap_host_transfer``  when True the next example's input stream
+                          overlaps compute (the paper's implementation
+                          is synchronous per example -> default False;
+                          flipping it is an ablation bench)
+    """
+
+    frequency_mhz: float = 100.0
+    latency: LatencyParams = field(default_factory=LatencyParams)
+    calibration: CalibrationConstants = field(default_factory=lambda: DEFAULT_CALIBRATION)
+    fifo_depth: int = 16
+    ith_enabled: bool = False
+    ith_rho: float = 1.0
+    ith_index_ordering: bool = True
+    overlap_host_transfer: bool = False
+
+    def __post_init__(self):
+        if self.frequency_mhz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.fifo_depth < 1:
+            raise ValueError("fifo_depth must be >= 1")
+        if not 0.0 < self.ith_rho <= 1.0:
+            raise ValueError("ith_rho must be in (0, 1]")
+
+    @property
+    def cycle_time_s(self) -> float:
+        return 1.0 / (self.frequency_mhz * 1e6)
+
+    def with_frequency(self, frequency_mhz: float) -> "HwConfig":
+        return replace(self, frequency_mhz=frequency_mhz)
+
+    def with_ith(
+        self, enabled: bool, rho: float | None = None, index_ordering: bool | None = None
+    ) -> "HwConfig":
+        return replace(
+            self,
+            ith_enabled=enabled,
+            ith_rho=self.ith_rho if rho is None else rho,
+            ith_index_ordering=(
+                self.ith_index_ordering if index_ordering is None else index_ordering
+            ),
+        )
+
+    def with_embed_dim(self, embed_dim: int) -> "HwConfig":
+        return replace(self, latency=replace(self.latency, embed_dim=embed_dim))

@@ -1,0 +1,69 @@
+"""Energy accounting for the FPGA accelerator.
+
+Total energy = datapath switching energy (per-op energies times the
+operation counts) + interface energy + power-floor energy (static
+leakage, fans, clock tree) integrated over the run's wall time. Average
+power is energy/time; because the power floor accrues over the
+frequency-independent interface time too, average power rises with
+frequency exactly as the paper measured (14.7 W at 25 MHz -> 20.1 W at
+100 MHz) and rises slightly when inference thresholding shortens the
+run (Table I's ITH rows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.calibration import CalibrationConstants
+from repro.hw.opcounts import ExampleOpCounts
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules by source over one run."""
+
+    switching: float = 0.0
+    interface: float = 0.0
+    floor: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.switching + self.interface + self.floor
+
+    def average_power(self, seconds: float) -> float:
+        if seconds <= 0:
+            raise ValueError("run time must be positive")
+        return self.total / seconds
+
+
+class EnergyModel:
+    """Maps op counts + wall time to an :class:`EnergyBreakdown`."""
+
+    def __init__(self, calibration: CalibrationConstants):
+        self.calibration = calibration
+
+    def switching_energy(self, ops: ExampleOpCounts) -> float:
+        c = self.calibration
+        return (
+            ops.mults * c.fpga_energy_mult
+            + ops.adds * c.fpga_energy_add
+            + ops.exps * c.fpga_energy_exp
+            + ops.divs * c.fpga_energy_div
+            + ops.compares * c.fpga_energy_compare
+            + ops.sram_reads * c.fpga_energy_sram_read
+            + ops.sram_writes * c.fpga_energy_sram_write
+        )
+
+    def run_energy(
+        self,
+        ops: ExampleOpCounts,
+        interface_energy: float,
+        wall_time_s: float,
+        frequency_mhz: float,
+    ) -> EnergyBreakdown:
+        floor = self.calibration.fpga_power_floor(frequency_mhz) * wall_time_s
+        return EnergyBreakdown(
+            switching=self.switching_energy(ops),
+            interface=interface_energy,
+            floor=floor,
+        )

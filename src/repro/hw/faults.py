@@ -1,0 +1,133 @@
+"""Soft-error (SEU) fault injection on the accelerator's weight memory.
+
+FPGA block RAM is susceptible to single-event upsets; a deployed
+inference accelerator holding its weights on-chip (as the Fig. 1 design
+does) degrades gracefully or catastrophically depending on precision
+and bit position. This module flips random bits in the fixed-point
+weight codes and measures the accuracy impact — the reliability
+analysis an FPGA deployment study would run on top of the quantization
+extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mann.quantize import QFormat
+from repro.mann.weights import MannWeights
+
+_WEIGHT_FIELDS = ("w_emb_a", "w_emb_c", "w_emb_q", "w_r", "w_o", "t_a", "t_c")
+
+
+@dataclass
+class FaultInjectionResult:
+    """Outcome of one fault-injection pass."""
+
+    weights: MannWeights
+    n_bits_total: int
+    n_flips: int
+    flipped_fields: dict[str, int]
+
+    @property
+    def bit_error_rate(self) -> float:
+        return self.n_flips / self.n_bits_total if self.n_bits_total else 0.0
+
+
+def flip_bits_in_codes(
+    codes: np.ndarray,
+    n_flips: int,
+    total_bits: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Flip ``n_flips`` uniformly random (element, bit) positions.
+
+    ``codes`` are two's-complement integers of width ``total_bits``.
+    The same position may be drawn twice (flipping back), matching
+    independent upsets.
+    """
+    if n_flips < 0:
+        raise ValueError("n_flips must be non-negative")
+    if total_bits < 1:
+        raise ValueError("total_bits must be positive")
+    flat = codes.reshape(-1).copy()
+    if flat.size == 0 or n_flips == 0:
+        return flat.reshape(codes.shape)
+    mask = (1 << total_bits) - 1
+    sign_bit = 1 << (total_bits - 1)
+    elements = rng.integers(0, flat.size, size=n_flips)
+    bits = rng.integers(0, total_bits, size=n_flips)
+    for element, bit in zip(elements, bits):
+        unsigned = int(flat[element]) & mask
+        unsigned ^= 1 << int(bit)
+        # Back to signed two's complement.
+        value = unsigned - (1 << total_bits) if unsigned & sign_bit else unsigned
+        flat[element] = value
+    return flat.reshape(codes.shape)
+
+
+def inject_weight_faults(
+    weights: MannWeights,
+    qformat: QFormat,
+    bit_error_rate: float,
+    seed: int = 0,
+) -> FaultInjectionResult:
+    """Quantize the weights and flip bits at ``bit_error_rate``.
+
+    The returned weights carry the dequantized (possibly corrupted)
+    values and run through every engine unchanged.
+    """
+    if not 0.0 <= bit_error_rate <= 1.0:
+        raise ValueError("bit_error_rate must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    corrupted: dict[str, np.ndarray] = {}
+    flipped_fields: dict[str, int] = {}
+    n_bits_total = 0
+    n_flips_total = 0
+    for name in _WEIGHT_FIELDS:
+        matrix = getattr(weights, name)
+        codes = qformat.to_integers(matrix)
+        n_bits = codes.size * qformat.total_bits
+        n_bits_total += n_bits
+        n_flips = int(rng.binomial(n_bits, bit_error_rate))
+        flipped_fields[name] = n_flips
+        n_flips_total += n_flips
+        corrupted[name] = qformat.from_integers(
+            flip_bits_in_codes(codes, n_flips, qformat.total_bits, rng)
+        )
+    return FaultInjectionResult(
+        weights=MannWeights(config=weights.config, **corrupted),
+        n_bits_total=n_bits_total,
+        n_flips=n_flips_total,
+        flipped_fields=flipped_fields,
+    )
+
+
+def seu_sensitivity_sweep(
+    weights: MannWeights,
+    evaluate,
+    qformat: QFormat = QFormat(3, 12),
+    bit_error_rates: tuple[float, ...] = (0.0, 1e-5, 1e-4, 1e-3, 1e-2),
+    trials: int = 3,
+    seed: int = 0,
+) -> list[tuple[float, float, float]]:
+    """Accuracy vs bit-error rate, averaged over ``trials`` injections.
+
+    Returns (rate, mean accuracy, mean flips) tuples. ``evaluate`` maps
+    a ``MannWeights`` to accuracy in [0, 1].
+    """
+    results = []
+    for rate in bit_error_rates:
+        accuracies = []
+        flips = []
+        for trial in range(max(1, trials)):
+            injected = inject_weight_faults(
+                weights, qformat, rate, seed=seed + 101 * trial
+            )
+            accuracies.append(float(evaluate(injected.weights)))
+            flips.append(injected.n_flips)
+        results.append(
+            (rate, float(np.mean(accuracies)), float(np.mean(flips)))
+        )
+    return results

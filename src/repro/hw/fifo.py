@@ -1,0 +1,75 @@
+"""Bounded FIFO channel with backpressure for the dataflow modules."""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.hw.kernel import Environment, Event
+
+
+class Fifo:
+    """A FIFO queue of finite capacity connecting two modules.
+
+    ``put`` blocks (the producing process waits) while the queue is
+    full; ``get`` blocks while it is empty — exactly the handshake of a
+    hardware FIFO with full/empty flags.
+    """
+
+    def __init__(self, env: Environment, capacity: int, name: str = "fifo"):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = int(capacity)
+        self.name = name
+        self._items: deque = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, object]] = deque()
+        self.max_occupancy = 0
+        self.total_pushed = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def put(self, item) -> Event:
+        """Event that triggers once ``item`` is enqueued."""
+        event = self.env.event()
+        if not self.is_full:
+            self._enqueue(item)
+            event.trigger(None)
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Event that triggers with the next item once available."""
+        event = self.env.event()
+        if self._items:
+            value = self._items.popleft()
+            self._drain_putters()
+            event.trigger(value)
+        else:
+            self._getters.append(event)
+        return event
+
+    # -- internals -------------------------------------------------------
+    def _enqueue(self, item) -> None:
+        if self._getters:
+            self._getters.popleft().trigger(item)
+            return
+        self._items.append(item)
+        self.total_pushed += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._items))
+
+    def _drain_putters(self) -> None:
+        while self._putters and not self.is_full:
+            event, item = self._putters.popleft()
+            self._enqueue(item)
+            event.trigger(None)

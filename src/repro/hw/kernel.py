@@ -1,0 +1,128 @@
+"""A minimal discrete-event simulation kernel (simpy-style).
+
+Processes are Python generators that ``yield`` events; the environment
+advances simulated time (in clock cycles) and resumes processes when
+their events trigger. Only the three primitives the accelerator needs
+are implemented: :class:`Timeout`, :class:`Event` (manually triggered)
+and process joining (yielding another :class:`Process` waits for its
+termination).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Generator
+
+
+class Event:
+    """A one-shot event; processes waiting on it resume when triggered."""
+
+    __slots__ = ("env", "triggered", "value", "_waiters")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.triggered = False
+        self.value = None
+        self._waiters: list[Process] = []
+
+    def trigger(self, value=None) -> None:
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        for process in self._waiters:
+            self.env._schedule(0, process, value)
+        self._waiters.clear()
+
+    def _wait(self, process: "Process") -> None:
+        if self.triggered:
+            self.env._schedule(0, process, self.value)
+        else:
+            self._waiters.append(process)
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` cycles in the future."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", delay: int):
+        super().__init__(env)
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        env._schedule_timeout(delay, self)
+
+
+class Process(Event):
+    """A running generator; itself an event that triggers on return."""
+
+    __slots__ = ("generator", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        env._schedule(0, self, None)
+
+    def _resume(self, value) -> None:
+        try:
+            target = self.generator.send(value)
+        except StopIteration as stop:
+            self.trigger(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {type(target).__name__}; "
+                "processes must yield Event/Timeout/Process"
+            )
+        target._wait(self)
+
+
+class Environment:
+    """Event queue and simulated clock (integer cycles)."""
+
+    def __init__(self):
+        self.now = 0
+        self._queue: list[tuple[int, int, object, object]] = []
+        self._counter = itertools.count()
+
+    # -- primitives -----------------------------------------------------
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name)
+
+    def timeout(self, delay: int) -> Timeout:
+        return Timeout(self, int(delay))
+
+    def event(self) -> Event:
+        return Event(self)
+
+    # -- scheduling -----------------------------------------------------
+    def _schedule(self, delay: int, process: Process, value) -> None:
+        heapq.heappush(
+            self._queue, (self.now + delay, next(self._counter), process, value)
+        )
+
+    def _schedule_timeout(self, delay: int, event: Timeout) -> None:
+        heapq.heappush(
+            self._queue, (self.now + delay, next(self._counter), event, None)
+        )
+
+    # -- main loop ------------------------------------------------------
+    def run(self, until: int | None = None) -> int:
+        """Run until the queue drains (or simulated time passes ``until``).
+
+        Returns the final simulated time.
+        """
+        while self._queue:
+            time, _seq, target, value = self._queue[0]
+            if until is not None and time > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = time
+            if isinstance(target, Process):
+                target._resume(value)
+            else:  # a Timeout reaching its deadline
+                target.trigger(value)
+        return self.now

@@ -1,0 +1,100 @@
+"""Closed-form cycle latencies of the accelerator's datapath units.
+
+The Fig. 1 microarchitecture uses |E|-wide parallel lanes (one lane per
+embedding dimension) feeding adder trees, plus sequential element-wise
+pipelines for the operations that cannot be parallelised on the FPGA
+(softmax exponentiation/division, the output-row scan). The formulas
+here are shared by the event-driven module simulation and the analytic
+timing model, so the two agree cycle-for-cycle by construction of the
+modules (tests assert it).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def adder_tree_depth(width: int) -> int:
+    """Pipeline depth of a binary adder tree reducing ``width`` inputs."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    return max(1, math.ceil(math.log2(width))) if width > 1 else 1
+
+
+@dataclass(frozen=True)
+class LatencyParams:
+    """Latency characteristics of the datapath units (in cycles).
+
+    Defaults correspond to standard single-precision pipelined FPGA IP:
+    one-cycle multiply/add issue, a ~8-cycle exponential unit and a
+    ~16-cycle divider, matching the paper's remark that softmax incurs
+    exponentiation and division that "cannot be parallelized".
+    """
+
+    embed_dim: int = 20
+    mac_issue: int = 1  # E-wide multiply-accumulate issue interval
+    exp_latency: int = 8
+    div_latency: int = 16
+    compare_latency: int = 1
+    reg_latency: int = 1
+    memory_write_latency: int = 1  # one embedded row per cycle (E-wide port)
+
+    @property
+    def tree_depth(self) -> int:
+        return adder_tree_depth(self.embed_dim)
+
+    # ------------------------------------------------------------------
+    # Phase formulas. Every phase returns the cycle count from first
+    # input available to last output registered.
+    # ------------------------------------------------------------------
+    def embed_sentence_cycles(self, n_words: int) -> int:
+        """INPUT & WRITE: accumulate one embedding column per word.
+
+        The embedding module reads one |E|-wide column of W_emb per word
+        index and accumulates it (Eq. 2). emb_a and emb_c lanes run in
+        parallel hardware, so the sentence costs ``n_words`` issue
+        cycles plus the accumulate register and the temporal-encoding
+        add, then one memory-row write.
+        """
+        n_words = max(1, int(n_words))
+        return n_words * self.mac_issue + 2 * self.reg_latency + self.memory_write_latency
+
+    def embed_question_cycles(self, n_words: int) -> int:
+        """READ: embed the question into the initial read key (Eq. 3)."""
+        n_words = max(1, int(n_words))
+        return n_words * self.mac_issue + self.reg_latency
+
+    def addressing_cycles(self, n_slots: int) -> int:
+        """MEM address memory: scores, softmax over ``n_slots`` (Eq. 1).
+
+        Dot products stream one slot per cycle through the multiplier
+        lanes and adder tree; each score enters the pipelined exp unit;
+        the running exp-sum accumulates behind it. The divider then
+        streams one normalised weight per cycle.
+        """
+        n_slots = max(1, int(n_slots))
+        scores = n_slots * self.mac_issue + self.tree_depth
+        exponentials = self.exp_latency + self.reg_latency  # pipeline fill
+        normalise = self.div_latency + n_slots  # divider fill + stream
+        return scores + exponentials + normalise
+
+    def content_read_cycles(self, n_slots: int) -> int:
+        """MEM content memory: r = M_c a, one slot MAC per cycle (Eq. 5)."""
+        n_slots = max(1, int(n_slots))
+        return n_slots * self.mac_issue + self.tree_depth + self.reg_latency
+
+    def controller_cycles(self) -> int:
+        """READ: h = r + W_r k (Eq. 4) as E sequential E-wide dots."""
+        matvec = self.embed_dim * self.mac_issue + self.tree_depth
+        return matvec + self.reg_latency  # + elementwise add of r
+
+    def output_scan_cycles(self, n_visited: int) -> int:
+        """OUTPUT: sequential dot-product scan of ``n_visited`` rows.
+
+        One output row per cycle streams through the MAC lanes and adder
+        tree; the comparator tracks the running maximum (or the
+        per-index threshold when inference thresholding is active).
+        """
+        n_visited = max(1, int(n_visited))
+        return n_visited * self.mac_issue + self.tree_depth + self.compare_latency

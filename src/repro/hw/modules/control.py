@@ -1,0 +1,89 @@
+"""CONTROL module: decodes the host stream and sequences the pipeline.
+
+Control signals are embedded in the data stream (Section III): a start
+word announces how many sentences follow and how many hops to run; the
+CONTROL module routes sentences to INPUT & WRITE, the question to READ
+once the write stream finishes, and forwards the OUTPUT module's answer
+to FIFO_OUT.
+"""
+
+from __future__ import annotations
+
+from repro.hw.fifo import Fifo
+from repro.hw.kernel import Environment
+from repro.hw.latency import LatencyParams
+from repro.hw.modules.messages import (
+    AnswerMsg,
+    QuestionMsg,
+    SentenceMsg,
+    StartExampleMsg,
+)
+
+
+class ControlModule:
+    """Routes the host stream and gates the read phase."""
+
+    def __init__(
+        self,
+        env: Environment,
+        latency: LatencyParams,
+        fifo_in: Fifo,
+        fifo_out: Fifo,
+        to_write: Fifo,
+        to_read: Fifo,
+        from_output: Fifo,
+        write_ack: Fifo | None = None,
+    ):
+        self.env = env
+        self.latency = latency
+        self.fifo_in = fifo_in
+        self.fifo_out = fifo_out
+        self.to_write = to_write
+        self.to_read = to_read
+        self.from_output = from_output
+        self.write_ack = write_ack
+        self.busy_cycles = 0
+        self.examples_done = 0
+        self.process = env.process(self._run(), name="CONTROL")
+
+    def _run(self):
+        while True:
+            msg = yield self.fifo_in.get()
+            if msg is None:  # shutdown sentinel
+                yield self.to_write.put(None)
+                return
+            if not isinstance(msg, StartExampleMsg):
+                raise TypeError(f"expected StartExampleMsg, got {type(msg).__name__}")
+            start = self.env.now
+            # Decode the control word (one register stage).
+            yield self.env.timeout(self.latency.reg_latency)
+
+            # Stream the write path: sentences to INPUT & WRITE.
+            for _ in range(msg.n_sentences):
+                item = yield self.fifo_in.get()
+                if not isinstance(item, SentenceMsg):
+                    raise TypeError(
+                        f"expected SentenceMsg, got {type(item).__name__}"
+                    )
+                yield self.to_write.put(item)
+
+            # The question terminates the stream; the read phase is
+            # gated until every memory row is committed ("when this
+            # stream is finished, the READ module generates a read key").
+            question = yield self.fifo_in.get()
+            if not isinstance(question, QuestionMsg):
+                raise TypeError(
+                    f"expected QuestionMsg, got {type(question).__name__}"
+                )
+            if self.write_ack is not None:
+                for _ in range(msg.n_sentences):
+                    yield self.write_ack.get()
+            yield self.to_read.put((msg, question))
+
+            # Wait for the OUTPUT module's answer and forward it.
+            answer = yield self.from_output.get()
+            if not isinstance(answer, AnswerMsg):
+                raise TypeError(f"expected AnswerMsg, got {type(answer).__name__}")
+            yield self.fifo_out.put(answer)
+            self.examples_done += 1
+            self.busy_cycles += self.env.now - start

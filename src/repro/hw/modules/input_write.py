@@ -1,0 +1,75 @@
+"""INPUT & WRITE module: bag-of-words embedding and memory writes.
+
+Implements Eq. 2: for each word index the module reads one |E|-wide
+column of the embedding weights and accumulates it (emb_a and emb_c
+lanes run in parallel hardware), adds the slot's temporal encoding and
+ships the embedded row pair to the MEM module. Reading only the columns
+named by the word indices is the paper's key efficiency argument for
+this module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw.fifo import Fifo
+from repro.hw.kernel import Environment
+from repro.hw.latency import LatencyParams
+from repro.hw.modules.messages import MemoryRowMsg, SentenceMsg
+from repro.mann.weights import MannWeights
+
+
+class InputWriteModule:
+    """Embeds sentences arriving from CONTROL into memory rows."""
+
+    def __init__(
+        self,
+        env: Environment,
+        latency: LatencyParams,
+        weights: MannWeights,
+        from_control: Fifo,
+        to_mem: Fifo,
+    ):
+        self.env = env
+        self.latency = latency
+        self.weights = weights
+        self.from_control = from_control
+        self.to_mem = to_mem
+        self.busy_cycles = 0
+        self.sentences_embedded = 0
+        self.process = env.process(self._run(), name="INPUT&WRITE")
+
+    def _embed(self, word_indices: np.ndarray, slot: int) -> MemoryRowMsg:
+        """Functional embedding, identical to the golden engine's maths."""
+        w = self.weights
+        idx = np.asarray(word_indices, dtype=np.int64)
+        idx = idx[idx != 0]
+        if idx.size == 0:
+            row_a = np.zeros(w.w_emb_a.shape[1])
+            row_c = np.zeros(w.w_emb_c.shape[1])
+        else:
+            row_a = w.w_emb_a[idx].sum(axis=0)
+            row_c = w.w_emb_c[idx].sum(axis=0)
+        return MemoryRowMsg(
+            slot=slot,
+            row_a=row_a + w.t_a[slot],
+            row_c=row_c + w.t_c[slot],
+        )
+
+    def _run(self):
+        while True:
+            msg = yield self.from_control.get()
+            if msg is None:  # shutdown sentinel
+                yield self.to_mem.put(None)
+                return
+            if not isinstance(msg, SentenceMsg):
+                raise TypeError(f"expected SentenceMsg, got {type(msg).__name__}")
+            start = self.env.now
+            n_words = max(1, int(np.count_nonzero(msg.word_indices)))
+            # One embedding column per word through the accumulator,
+            # then the accumulate register and temporal-encoding add.
+            cycles = n_words * self.latency.mac_issue + 2 * self.latency.reg_latency
+            yield self.env.timeout(cycles)
+            yield self.to_mem.put(self._embed(msg.word_indices, msg.slot))
+            self.sentences_embedded += 1
+            self.busy_cycles += self.env.now - start

@@ -1,0 +1,68 @@
+"""OUTPUT module: sequential maximum-inner-product search (Eq. 6).
+
+One output row streams per cycle through the |E|-wide MAC lanes and the
+adder tree; a comparator tracks the running maximum (conventional mode,
+Fig. 2a) or checks each logit against its per-index threshold and exits
+early (inference thresholding, Fig. 2b). This scan is O(|I|) and is what
+dominates inference time for large output vocabularies (Section IV).
+"""
+
+from __future__ import annotations
+
+from repro.hw.fifo import Fifo
+from repro.hw.kernel import Environment
+from repro.hw.latency import LatencyParams
+from repro.hw.modules.messages import AnswerMsg, SearchRequestMsg
+from repro.mips.exact import ExactMips
+from repro.mips.stats import SearchResult
+from repro.mips.thresholding import InferenceThresholding
+
+
+class OutputModule:
+    """Runs the MIPS engine over W_o rows and returns the label."""
+
+    def __init__(
+        self,
+        env: Environment,
+        latency: LatencyParams,
+        engine: ExactMips | InferenceThresholding,
+        from_read: Fifo,
+        to_control: Fifo,
+    ):
+        self.env = env
+        self.latency = latency
+        self.engine = engine
+        self.from_read = from_read
+        self.to_control = to_control
+        self.busy_cycles = 0
+        self.searches = 0
+        self.total_comparisons = 0
+        self.last_result: SearchResult | None = None
+        self.process = env.process(self._run(), name="OUTPUT")
+
+    def _run(self):
+        while True:
+            msg = yield self.from_read.get()
+            if msg is None:
+                return
+            if not isinstance(msg, SearchRequestMsg):
+                raise TypeError(
+                    f"expected SearchRequestMsg, got {type(msg).__name__}"
+                )
+            start = self.env.now
+            result = self.engine.search(msg.h)
+            self.last_result = result
+            yield self.env.timeout(
+                self.latency.output_scan_cycles(result.comparisons)
+            )
+            yield self.to_control.put(
+                AnswerMsg(
+                    label=result.label,
+                    logit=result.logit,
+                    comparisons=result.comparisons,
+                    early_exit=result.early_exit,
+                )
+            )
+            self.searches += 1
+            self.total_comparisons += result.comparisons
+            self.busy_cycles += self.env.now - start

@@ -1,0 +1,128 @@
+"""Datapath operation counting shared by the energy model and devices.
+
+Counts are *nominal arithmetic operations* of the MANN inference
+workload. The FPGA energy model charges each op its switching energy;
+the CPU/GPU models derive execution time from the same counts, so every
+device is evaluated on an identical workload (as in the paper, where the
+same pre-trained model and data are run on all three platforms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class ExampleOpCounts:
+    """Operation counts of a single QA example's inference."""
+
+    mults: int = 0
+    adds: int = 0
+    exps: int = 0
+    divs: int = 0
+    compares: int = 0
+    sram_reads: int = 0
+    sram_writes: int = 0
+    stream_words_in: int = 0
+    stream_words_out: int = 0
+    kernel_launches: int = 0  # GPU-style op-graph nodes in this example
+
+    def __add__(self, other: "ExampleOpCounts") -> "ExampleOpCounts":
+        merged = ExampleOpCounts()
+        for f in fields(self):
+            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return merged
+
+    @property
+    def flops(self) -> int:
+        """Floating-point operations (exp/div counted as one FLOP each)."""
+        return self.mults + self.adds + self.exps + self.divs
+
+    @property
+    def total_ops(self) -> int:
+        return self.flops + self.compares
+
+
+class OpCounter:
+    """Builds :class:`ExampleOpCounts` from workload structure.
+
+    The formulas mirror Eqs. 1-6: per-sentence bag-of-words embedding
+    adds, per-hop addressing/softmax/read/controller arithmetic and the
+    output-layer scan.
+    """
+
+    def __init__(self, embed_dim: int):
+        if embed_dim < 1:
+            raise ValueError("embed_dim must be positive")
+        self.embed_dim = embed_dim
+
+    def write_sentence(self, n_words: int) -> ExampleOpCounts:
+        """Embed one sentence into address+content memory (Eq. 2)."""
+        e = self.embed_dim
+        n_words = max(1, n_words)
+        return ExampleOpCounts(
+            adds=2 * n_words * e + 2 * e,  # emb_a + emb_c sums + temporal
+            sram_reads=2 * n_words * e,
+            sram_writes=2 * e,
+            stream_words_in=n_words,
+            kernel_launches=2,
+        )
+
+    def embed_question(self, n_words: int) -> ExampleOpCounts:
+        e = self.embed_dim
+        n_words = max(1, n_words)
+        return ExampleOpCounts(
+            adds=n_words * e,
+            sram_reads=n_words * e,
+            stream_words_in=n_words,
+            kernel_launches=1,
+        )
+
+    def hop(self, n_slots: int) -> ExampleOpCounts:
+        """One recursive read: Eq. 1 softmax addressing, Eq. 5 read,
+        Eq. 4 controller update."""
+        e = self.embed_dim
+        n_slots = max(1, n_slots)
+        return ExampleOpCounts(
+            # scores: L dots of width E; read: L MACs of width E;
+            # controller matvec: E x E.
+            mults=n_slots * e + n_slots * e + e * e,
+            adds=n_slots * (e - 1) + n_slots  # score trees + exp-sum
+            + n_slots * e  # weighted read accumulate
+            + e * (e - 1) + e,  # controller tree + add read vector
+            exps=n_slots,
+            divs=n_slots,
+            sram_reads=2 * n_slots * e,
+            kernel_launches=5,
+        )
+
+    def output_scan(self, n_visited: int) -> ExampleOpCounts:
+        """Sequential MIPS over ``n_visited`` output rows (Eq. 6)."""
+        e = self.embed_dim
+        n_visited = max(1, n_visited)
+        return ExampleOpCounts(
+            mults=n_visited * e,
+            adds=n_visited * (e - 1),
+            compares=n_visited,
+            sram_reads=n_visited * e,
+            stream_words_out=1,
+            kernel_launches=1,
+        )
+
+    def example(
+        self,
+        sentence_word_counts: list[int],
+        question_words: int,
+        hops: int,
+        output_visited: int,
+    ) -> ExampleOpCounts:
+        """Total counts for one QA example."""
+        total = ExampleOpCounts()
+        for n_words in sentence_word_counts:
+            total = total + self.write_sentence(n_words)
+        total = total + self.embed_question(question_words)
+        n_slots = len(sentence_word_counts)
+        for _ in range(max(1, hops)):
+            total = total + self.hop(n_slots)
+        total = total + self.output_scan(output_visited)
+        return total

@@ -1,0 +1,79 @@
+"""Host <-> FPGA interface model (PCIe FIFO stream).
+
+The accelerator receives weights and inference data "in the form of
+streams through a FIFO queue" over PCIe. For small credit-based FIFO
+transactions the effective bandwidth is far below PCIe line rate and a
+fixed round-trip latency is paid per message; this frequency-independent
+term is what makes the paper's measured times scale sub-linearly with
+clock frequency (Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.calibration import CalibrationConstants
+
+
+@dataclass
+class TransferStats:
+    """Accumulated host-interface traffic."""
+
+    bytes_in: int = 0
+    bytes_out: int = 0
+    transactions: int = 0
+    seconds: float = 0.0
+    energy_joules: float = 0.0
+
+    def __add__(self, other: "TransferStats") -> "TransferStats":
+        return TransferStats(
+            self.bytes_in + other.bytes_in,
+            self.bytes_out + other.bytes_out,
+            self.transactions + other.transactions,
+            self.seconds + other.seconds,
+            self.energy_joules + other.energy_joules,
+        )
+
+
+class HostInterface:
+    """Timing/energy model of the PCIe FIFO stream."""
+
+    def __init__(self, calibration: CalibrationConstants):
+        self.calibration = calibration
+
+    def transfer_time(self, n_bytes: int, n_transactions: int = 1) -> float:
+        """Seconds to move ``n_bytes`` in ``n_transactions`` messages."""
+        if n_bytes < 0 or n_transactions < 0:
+            raise ValueError("negative transfer size")
+        c = self.calibration
+        return n_bytes / c.pcie_bandwidth + n_transactions * c.pcie_transaction_latency
+
+    def words_to_bytes(self, n_words: int) -> int:
+        return n_words * self.calibration.bytes_per_word
+
+    def example_transfer(self, words_in: int, words_out: int) -> TransferStats:
+        """Per-example stream: story+question in, answer out.
+
+        Modelled as two transactions (one host->FPGA burst carrying the
+        control words and input stream, one FPGA->host for the answer),
+        matching the synchronous request/response protocol of Fig. 1.
+        """
+        bytes_in = self.words_to_bytes(words_in)
+        bytes_out = self.words_to_bytes(max(1, words_out))
+        seconds = self.transfer_time(bytes_in, 1) + self.transfer_time(bytes_out, 1)
+        energy = (bytes_in + bytes_out) * self.calibration.pcie_energy_per_byte
+        return TransferStats(bytes_in, bytes_out, 2, seconds, energy)
+
+    def model_transfer(self, n_weight_bytes: int) -> TransferStats:
+        """One-off transfer of the trained model parameters.
+
+        Large DMA bursts reach much better efficiency than the tiny
+        per-example messages; modelled as a single bulk transaction at
+        the bulk bandwidth.
+        """
+        c = self.calibration
+        seconds = (
+            n_weight_bytes / c.pcie_bulk_bandwidth + c.pcie_transaction_latency
+        )
+        energy = n_weight_bytes * c.pcie_energy_per_byte
+        return TransferStats(n_weight_bytes, 0, 1, seconds, energy)

@@ -1,0 +1,97 @@
+"""Human-readable accelerator run reports.
+
+Turns an :class:`~repro.hw.accelerator.AcceleratorReport` into the text
+breakdowns a hardware engineer looks at first: per-phase cycle shares,
+per-module busy fractions, the interface/compute wall-time split and
+the energy-by-source split.
+"""
+
+from __future__ import annotations
+
+from repro.hw.accelerator import AcceleratorReport
+from repro.utils.tables import TextTable
+
+
+def phase_breakdown_table(report: AcceleratorReport) -> TextTable:
+    """Cycle share of each pipeline phase (write/question/hops/output)."""
+    phases = report.phases
+    total = max(1, phases.total)
+    table = TextTable(
+        ["phase", "cycles", "share"],
+        title="Per-phase cycle breakdown",
+    )
+    for name, cycles in (
+        ("control decode", phases.control),
+        ("write (embed + memory)", phases.write),
+        ("question embed", phases.question),
+        ("hops (addressing/read/controller)", phases.hops),
+        ("output scan (MIPS)", phases.output),
+    ):
+        table.add_row([name, str(cycles), f"{100 * cycles / total:.1f}%"])
+    table.add_row(["total", str(phases.total), "100.0%"])
+    return table
+
+
+def module_utilisation_table(report: AcceleratorReport) -> TextTable:
+    """Busy fraction of each Fig. 1 module over the compute window."""
+    total = max(1, report.total_cycles)
+    table = TextTable(
+        ["module", "busy cycles", "utilisation"],
+        title="Module busy fractions (of total compute cycles)",
+    )
+    for name, busy in sorted(report.module_busy_cycles.items()):
+        table.add_row([name, str(busy), f"{100 * busy / total:.1f}%"])
+    return table
+
+
+def wall_time_table(report: AcceleratorReport) -> TextTable:
+    """Interface vs compute wall-time split (the Section V bound)."""
+    table = TextTable(
+        ["component", "seconds", "share"],
+        title=f"Wall time at {report.config.frequency_mhz:.0f} MHz",
+    )
+    wall = max(report.wall_seconds, 1e-12)
+    table.add_row(
+        [
+            "host interface",
+            f"{report.interface_seconds:.6f}",
+            f"{100 * report.interface_seconds / wall:.1f}%",
+        ]
+    )
+    table.add_row(
+        [
+            "fabric compute",
+            f"{report.compute_seconds:.6f}",
+            f"{100 * report.compute_seconds / wall:.1f}%",
+        ]
+    )
+    table.add_row(["total", f"{report.wall_seconds:.6f}", "100.0%"])
+    return table
+
+
+def energy_table(report: AcceleratorReport) -> TextTable:
+    """Energy by source: switching, interface, power floor."""
+    energy = report.energy
+    total = max(energy.total, 1e-12)
+    table = TextTable(
+        ["source", "joules", "share"],
+        title=f"Energy breakdown ({report.average_power_w:.2f} W average)",
+    )
+    for name, joules in (
+        ("datapath switching", energy.switching),
+        ("host interface", energy.interface),
+        ("static + clock floor", energy.floor),
+    ):
+        table.add_row([name, f"{joules:.6f}", f"{100 * joules / total:.1f}%"])
+    return table
+
+
+def full_report(report: AcceleratorReport) -> str:
+    """All four breakdown tables as one printable block."""
+    sections = [
+        phase_breakdown_table(report),
+        module_utilisation_table(report),
+        wall_time_table(report),
+        energy_table(report),
+    ]
+    return "\n\n".join(section.render() for section in sections)

@@ -1,0 +1,85 @@
+"""FPGA resource-utilisation estimates.
+
+First-order LUT/FF/DSP/BRAM budgets per module, derived from the
+datapath widths (|E| parallel MAC lanes, adder trees, exp/div units),
+checked against the Virtex UltraScale XCVU190 (VCU107 board) capacity.
+These are architectural estimates — the reproduction has no synthesis
+flow — but they document that the Fig. 1 design fits the paper's part
+with ample headroom and they scale correctly with the configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.config import HwConfig
+from repro.mann.config import MannConfig
+
+# Xilinx Virtex UltraScale XCVU190 (the VCU107 device).
+VCU107_LUTS = 1_074_240
+VCU107_FFS = 2_148_480
+VCU107_DSPS = 1_800
+VCU107_BRAM_KB = 16_625  # ~132.9 Mb block RAM
+
+# Per-unit first-order costs (single-precision pipelined IP).
+_LUT_PER_FP_ADD = 400
+_FF_PER_FP_ADD = 500
+_LUT_PER_FP_MUL = 100  # DSP-mapped; LUTs for alignment logic
+_FF_PER_FP_MUL = 200
+_DSP_PER_FP_MUL = 2
+_LUT_PER_EXP = 2_500
+_LUT_PER_DIV = 3_000
+_LUT_PER_FIFO = 150
+
+
+@dataclass
+class ResourceEstimate:
+    """Estimated utilisation for one accelerator configuration."""
+
+    luts: int
+    ffs: int
+    dsps: int
+    bram_kb: float
+
+    def utilisation(self) -> dict[str, float]:
+        return {
+            "LUT": self.luts / VCU107_LUTS,
+            "FF": self.ffs / VCU107_FFS,
+            "DSP": self.dsps / VCU107_DSPS,
+            "BRAM": self.bram_kb / VCU107_BRAM_KB,
+        }
+
+    def fits(self) -> bool:
+        return all(v <= 1.0 for v in self.utilisation().values())
+
+
+def estimate_resources(
+    hw_config: HwConfig, model_config: MannConfig, n_fifos: int = 8
+) -> ResourceEstimate:
+    """Estimate utilisation of the Fig. 1 design.
+
+    Datapath: the INPUT & WRITE module needs 2|E| adders (emb_a/emb_c
+    lanes); MEM needs |E| multipliers + an |E|-input adder tree + exp +
+    div; READ mirrors MEM's MAC array for the controller matvec; OUTPUT
+    another |E|-wide MAC array plus the comparator. Weights live in
+    block RAM.
+    """
+    e = hw_config.latency.embed_dim
+    adders = 2 * e + 3 * (e - 1) + 3 * e  # lanes + trees + accumulators
+    multipliers = 3 * e  # MEM, READ, OUTPUT MAC arrays
+    luts = (
+        adders * _LUT_PER_FP_ADD
+        + multipliers * _LUT_PER_FP_MUL
+        + _LUT_PER_EXP
+        + _LUT_PER_DIV
+        + n_fifos * _LUT_PER_FIFO
+        + 20_000  # control, host interface, decode
+    )
+    ffs = adders * _FF_PER_FP_ADD + multipliers * _FF_PER_FP_MUL + 30_000
+    dsps = multipliers * _DSP_PER_FP_MUL
+
+    v, l = model_config.vocab_size, model_config.memory_size
+    weight_words = 3 * v * e + e * e + v * e + 2 * l * e
+    memory_words = 2 * l * e
+    bram_kb = (weight_words + memory_words) * 4 / 1024
+    return ResourceEstimate(luts=luts, ffs=ffs, dsps=dsps, bram_kb=bram_kb)

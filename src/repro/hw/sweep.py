@@ -1,0 +1,207 @@
+"""Design-space exploration of the accelerator configuration.
+
+The paper fixes one design point (|E|-wide lanes, four clock choices).
+This module sweeps the main architectural knobs — lane width, clock,
+unit latencies, interface parameters — using the analytic timing model
+plus the resource estimator, producing time/power/resource trade-off
+curves a designer would use to pick the next implementation point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.hw.calibration import CalibrationConstants
+from repro.hw.config import HwConfig
+from repro.hw.energy import EnergyModel
+from repro.hw.latency import LatencyParams
+from repro.hw.opcounts import ExampleOpCounts, OpCounter
+from repro.hw.resources import ResourceEstimate, estimate_resources
+from repro.hw.timing import CycleModel
+from repro.mann.config import MannConfig
+from repro.utils.tables import TextTable
+
+
+@dataclass(frozen=True)
+class WorkloadShape:
+    """Abstract per-example workload for analytic sweeps."""
+
+    sentence_word_counts: tuple[int, ...] = (6, 6, 6, 6, 6, 6)
+    question_words: int = 4
+    hops: int = 3
+    output_visited: int = 160
+    n_examples: int = 1000
+
+    def with_output_visited(self, visited: int) -> "WorkloadShape":
+        return replace(self, output_visited=visited)
+
+
+@dataclass
+class DesignPoint:
+    """One evaluated configuration."""
+
+    frequency_mhz: float
+    embed_dim: int
+    cycles_per_example: int
+    wall_seconds: float
+    average_power_w: float
+    energy_joules: float
+    resources: ResourceEstimate
+
+    @property
+    def examples_per_second(self) -> float:
+        return 1.0 / (self.wall_seconds or float("inf"))
+
+    @property
+    def fits(self) -> bool:
+        return self.resources.fits()
+
+
+def evaluate_design_point(
+    workload: WorkloadShape,
+    config: HwConfig,
+    model_config: MannConfig,
+) -> DesignPoint:
+    """Analytic time/energy/resources for one configuration."""
+    cycle_model = CycleModel(config.latency)
+    phases = cycle_model.example_cycles(
+        list(workload.sentence_word_counts),
+        workload.question_words,
+        workload.hops,
+        workload.output_visited,
+    )
+    counter = OpCounter(config.latency.embed_dim)
+    ops_example = counter.example(
+        list(workload.sentence_word_counts),
+        workload.question_words,
+        workload.hops,
+        workload.output_visited,
+    )
+    # Totals scale linearly with the example count.
+    from dataclasses import fields as dc_fields
+
+    total_ops = ExampleOpCounts()
+    for f in dc_fields(total_ops):
+        setattr(
+            total_ops, f.name, getattr(ops_example, f.name) * workload.n_examples
+        )
+
+    from repro.hw.pcie import HostInterface
+
+    host = HostInterface(config.calibration)
+    stream_words = (
+        2 + sum(workload.sentence_word_counts) + workload.question_words
+    )
+    transfer = host.example_transfer(stream_words, 1)
+    interface_seconds = transfer.seconds * workload.n_examples
+    interface_energy = transfer.energy_joules * workload.n_examples
+
+    cycles_total = phases.total * workload.n_examples
+    wall = cycle_model.wall_time(cycles_total, interface_seconds, config)
+    energy = EnergyModel(config.calibration).run_energy(
+        total_ops, interface_energy, wall, config.frequency_mhz
+    )
+    return DesignPoint(
+        frequency_mhz=config.frequency_mhz,
+        embed_dim=config.latency.embed_dim,
+        cycles_per_example=phases.total,
+        wall_seconds=wall,
+        average_power_w=energy.average_power(wall),
+        energy_joules=energy.total,
+        resources=estimate_resources(config, model_config),
+    )
+
+
+def frequency_sweep(
+    workload: WorkloadShape,
+    model_config: MannConfig,
+    frequencies_mhz: tuple[float, ...] = (25.0, 50.0, 75.0, 100.0, 150.0, 200.0),
+    base_config: HwConfig | None = None,
+) -> list[DesignPoint]:
+    base = base_config or HwConfig()
+    base = base.with_embed_dim(model_config.embed_dim)
+    return [
+        evaluate_design_point(workload, base.with_frequency(f), model_config)
+        for f in frequencies_mhz
+    ]
+
+
+def lane_width_sweep(
+    workload: WorkloadShape,
+    vocab_size: int,
+    widths: tuple[int, ...] = (8, 16, 20, 32, 64),
+    frequency_mhz: float = 100.0,
+    base_config: HwConfig | None = None,
+) -> list[DesignPoint]:
+    """Sweep the embedding dimension (= MAC-lane width).
+
+    The Fig. 1 datapath instantiates one lane per embedding dimension,
+    so a larger model embedding costs DSPs/LUTs linearly in the lanes
+    and *cycles* in the controller (the |E| x |E| matvec issues |E|
+    sequential |E|-wide dots) — how the design scales if a bigger MANN
+    is deployed on it.
+    """
+    base = base_config or HwConfig(frequency_mhz=frequency_mhz)
+    points = []
+    for width in widths:
+        model_config = MannConfig(
+            vocab_size=vocab_size, embed_dim=width, memory_size=20
+        )
+        config = base.with_embed_dim(width).with_frequency(frequency_mhz)
+        points.append(evaluate_design_point(workload, config, model_config))
+    return points
+
+
+def interface_latency_sweep(
+    workload: WorkloadShape,
+    model_config: MannConfig,
+    latencies_us: tuple[float, ...] = (13.0, 6.0, 3.0, 1.0, 0.25),
+    frequency_mhz: float = 100.0,
+    base_config: HwConfig | None = None,
+) -> list[tuple[float, DesignPoint]]:
+    """Generalises the Section V interface ablation to a full curve."""
+    base = base_config or HwConfig()
+    base = base.with_embed_dim(model_config.embed_dim).with_frequency(
+        frequency_mhz
+    )
+    points = []
+    for latency_us in latencies_us:
+        calibration = replace(
+            base.calibration, pcie_transaction_latency=latency_us * 1e-6
+        )
+        config = replace(base, calibration=calibration)
+        points.append(
+            (latency_us, evaluate_design_point(workload, config, model_config))
+        )
+    return points
+
+
+def sweep_table(points: list[DesignPoint], title: str) -> TextTable:
+    table = TextTable(
+        [
+            "clock (MHz)",
+            "|E|",
+            "cycles/example",
+            "wall (s)",
+            "power (W)",
+            "LUT util",
+            "DSP util",
+            "fits",
+        ],
+        title=title,
+    )
+    for p in points:
+        util = p.resources.utilisation()
+        table.add_row(
+            [
+                f"{p.frequency_mhz:.0f}",
+                str(p.embed_dim),
+                str(p.cycles_per_example),
+                f"{p.wall_seconds:.4f}",
+                f"{p.average_power_w:.2f}",
+                f"{util['LUT'] * 100:.1f}%",
+                f"{util['DSP'] * 100:.1f}%",
+                "yes" if p.fits else "NO",
+            ]
+        )
+    return table

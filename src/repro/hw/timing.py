@@ -1,0 +1,98 @@
+"""Analytic timing model of the accelerator.
+
+Computes the same per-example cycle counts as the event-driven module
+simulation in closed form (tests assert exact equality), and converts
+cycles plus host-interface time into wall time:
+
+    t(f) = T_interface + cycles / f
+
+The interface term is frequency independent, which reproduces the
+paper's sub-linear frequency scaling and the observation that at high
+clock rates "inference time is dominated by the interface between the
+host and the FPGA" (Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.config import HwConfig
+from repro.hw.latency import LatencyParams
+
+
+@dataclass
+class PhaseCycles:
+    """Per-phase cycle breakdown of one QA example."""
+
+    control: int = 0
+    write: int = 0
+    question: int = 0
+    hops: int = 0
+    output: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.control + self.write + self.question + self.hops + self.output
+
+    def __add__(self, other: "PhaseCycles") -> "PhaseCycles":
+        return PhaseCycles(
+            self.control + other.control,
+            self.write + other.write,
+            self.question + other.question,
+            self.hops + other.hops,
+            self.output + other.output,
+        )
+
+
+class CycleModel:
+    """Closed-form per-example cycle counts for a given configuration."""
+
+    def __init__(self, latency: LatencyParams):
+        self.latency = latency
+
+    def example_cycles(
+        self,
+        sentence_word_counts: list[int],
+        question_words: int,
+        hops: int,
+        output_visited: int,
+    ) -> PhaseCycles:
+        """Cycles for one example, phase by phase.
+
+        The dataflow is sequential across phases (the paper gates the
+        read phase on the end of the write stream and the output scan on
+        the final hop); within each phase the formulas already model the
+        fine-grained pipelining of the |E|-wide lanes.
+        """
+        lat = self.latency
+        n_slots = max(1, len(sentence_word_counts))
+        phases = PhaseCycles()
+        phases.control = lat.reg_latency  # decode of the start word
+        for n_words in sentence_word_counts:
+            n = max(1, int(n_words))
+            phases.write += n * lat.mac_issue + 2 * lat.reg_latency
+        # The last row's memory write is not hidden by a following
+        # sentence embedding.
+        phases.write += lat.memory_write_latency
+        phases.question = lat.embed_question_cycles(max(1, question_words))
+        per_hop = (
+            lat.addressing_cycles(n_slots)
+            + lat.content_read_cycles(n_slots)
+            + lat.controller_cycles()
+        )
+        phases.hops = max(1, hops) * per_hop
+        phases.output = lat.output_scan_cycles(max(1, output_visited))
+        return phases
+
+    def wall_time(
+        self,
+        cycles: int,
+        interface_seconds: float,
+        config: HwConfig,
+    ) -> float:
+        """Seconds for a run of ``cycles`` compute plus interface time."""
+        compute = cycles * config.cycle_time_s
+        if config.overlap_host_transfer:
+            # Fully overlapped streaming: the slower of the two paths.
+            return max(compute, interface_seconds)
+        return compute + interface_seconds

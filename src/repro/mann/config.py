@@ -1,0 +1,55 @@
+"""Model hyper-parameters for the memory network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MannConfig:
+    """Configuration of the MemN2N-style MANN.
+
+    Attributes mirror the symbols of Section II of the paper:
+
+    ``vocab_size``    output dimension |I| (full vocabulary; answers are
+                      vocabulary tokens)
+    ``embed_dim``     embedding dimension |E|
+    ``memory_size``   number of memory elements L
+    ``hops``          number of recursive reads T performed by the READ
+                      module (MemN2N "hops"; the read key of hop t>1 is
+                      the previous controller output, Eq. 3)
+    ``temporal_encoding``  add a learned per-slot temporal vector to the
+                      address/content memories (MemN2N's TE, needed for
+                      tasks whose answer depends on fact recency)
+    ``seed``          weight-initialisation seed
+    """
+
+    vocab_size: int
+    embed_dim: int = 20
+    memory_size: int = 15
+    hops: int = 3
+    temporal_encoding: bool = True
+    init_std: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.vocab_size < 2:
+            raise ValueError("vocab_size must be at least 2")
+        if self.embed_dim < 1:
+            raise ValueError("embed_dim must be positive")
+        if self.memory_size < 1:
+            raise ValueError("memory_size must be positive")
+        if self.hops < 1:
+            raise ValueError("hops must be at least 1")
+
+    def with_memory_size(self, memory_size: int) -> "MannConfig":
+        """Copy with a different memory size (stories vary per task)."""
+        return MannConfig(
+            vocab_size=self.vocab_size,
+            embed_dim=self.embed_dim,
+            memory_size=memory_size,
+            hops=self.hops,
+            temporal_encoding=self.temporal_encoding,
+            init_std=self.init_std,
+            seed=self.seed,
+        )

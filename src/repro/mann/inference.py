@@ -1,0 +1,138 @@
+"""Golden pure-numpy inference engine with a full intermediate trace.
+
+The hardware simulator (``repro.hw``) is functionally co-simulated
+against this engine: every intermediate the accelerator's modules
+produce (embedded memory rows, read keys, attention weights, read
+vectors, controller outputs, logits) is recorded here in the same order
+the hardware computes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mann.weights import MannWeights
+
+
+@dataclass
+class InferenceTrace:
+    """Every intermediate of one question's forward pass.
+
+    Shapes: L = used memory slots, E = embed dim, V = vocab, T = hops.
+    """
+
+    mem_a: np.ndarray  # (L, E) address memory after write
+    mem_c: np.ndarray  # (L, E) content memory after write
+    keys: list[np.ndarray] = field(default_factory=list)  # T x (E,)
+    scores: list[np.ndarray] = field(default_factory=list)  # T x (L,)
+    attentions: list[np.ndarray] = field(default_factory=list)  # T x (L,)
+    reads: list[np.ndarray] = field(default_factory=list)  # T x (E,)
+    controller_outputs: list[np.ndarray] = field(default_factory=list)  # T x (E,)
+    logits: np.ndarray | None = None  # (V,)
+    prediction: int | None = None
+
+    @property
+    def h_final(self) -> np.ndarray:
+        return self.controller_outputs[-1]
+
+
+class InferenceEngine:
+    """Runs Eqs. 1-6 on frozen weights, one example at a time.
+
+    Only the story's real sentences occupy memory slots; padding slots
+    are excluded, mirroring the accelerator which writes exactly one
+    memory element per streamed sentence.
+    """
+
+    def __init__(self, weights: MannWeights):
+        self.weights = weights
+        self.config = weights.config
+
+    # -- write path ----------------------------------------------------
+    def embed_sentence(self, word_indices: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+        """Bag-of-words embedding (Eq. 2): sum of non-pad columns."""
+        idx = np.asarray(word_indices, dtype=np.int64)
+        idx = idx[idx != 0]
+        if idx.size == 0:
+            return np.zeros(matrix.shape[1])
+        return matrix[idx].sum(axis=0)
+
+    def write_memory(
+        self, story: np.ndarray, n_sentences: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Embed the story's sentences into address/content memories."""
+        w = self.weights
+        rows_a = []
+        rows_c = []
+        for slot in range(n_sentences):
+            rows_a.append(
+                self.embed_sentence(story[slot], w.w_emb_a) + w.t_a[slot]
+            )
+            rows_c.append(
+                self.embed_sentence(story[slot], w.w_emb_c) + w.t_c[slot]
+            )
+        return np.array(rows_a), np.array(rows_c)
+
+    # -- read path -----------------------------------------------------
+    @staticmethod
+    def attention(mem_a: np.ndarray, key: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Content-based addressing (Eq. 1); returns (scores, weights)."""
+        scores = mem_a @ key
+        shifted = scores - scores.max()
+        exps = np.exp(shifted)
+        return scores, exps / exps.sum()
+
+    def forward_trace(self, story: np.ndarray, question: np.ndarray, n_sentences: int | None = None) -> InferenceTrace:
+        """Full forward pass of one example, recording every intermediate."""
+        w = self.weights
+        story = np.asarray(story, dtype=np.int64)
+        question = np.asarray(question, dtype=np.int64)
+        if n_sentences is None:
+            used = np.flatnonzero(story.any(axis=1))
+            n_sentences = int(used[-1]) + 1 if used.size else 1
+        if not 1 <= n_sentences <= self.config.memory_size:
+            raise ValueError(
+                f"n_sentences={n_sentences} outside [1, {self.config.memory_size}]"
+            )
+
+        mem_a, mem_c = self.write_memory(story, n_sentences)
+        trace = InferenceTrace(mem_a=mem_a, mem_c=mem_c)
+
+        key = self.embed_sentence(question, w.w_emb_q)  # Eq. 3, t=1
+        for _ in range(self.config.hops):
+            trace.keys.append(key)
+            scores, attention = self.attention(mem_a, key)
+            trace.scores.append(scores)
+            trace.attentions.append(attention)
+            read = mem_c.T @ attention  # Eq. 5
+            trace.reads.append(read)
+            h = read + w.w_r.T @ key  # Eq. 4 (key @ w_r for row vectors)
+            trace.controller_outputs.append(h)
+            key = h
+
+        trace.logits = w.w_o @ trace.h_final  # Eq. 6
+        trace.prediction = int(np.argmax(trace.logits))
+        return trace
+
+    # -- batch helpers ---------------------------------------------------
+    def predict(self, stories: np.ndarray, questions: np.ndarray, lengths: np.ndarray | None = None) -> np.ndarray:
+        """Vectorised predictions (no trace) for a whole encoded batch."""
+        preds = np.zeros(len(stories), dtype=np.int64)
+        for i in range(len(stories)):
+            n = int(lengths[i]) if lengths is not None else None
+            preds[i] = self.forward_trace(stories[i], questions[i], n).prediction
+        return preds
+
+    def logits_batch(self, stories: np.ndarray, questions: np.ndarray, lengths: np.ndarray | None = None) -> np.ndarray:
+        """Logit matrix (B, V) across a batch (used to fit thresholds)."""
+        out = np.zeros((len(stories), self.config.vocab_size))
+        for i in range(len(stories)):
+            n = int(lengths[i]) if lengths is not None else None
+            out[i] = self.forward_trace(stories[i], questions[i], n).logits
+        return out
+
+    def accuracy(self, stories, questions, answers, lengths=None) -> float:
+        preds = self.predict(stories, questions, lengths)
+        return float((preds == np.asarray(answers)).mean())

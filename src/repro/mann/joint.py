@@ -1,0 +1,137 @@
+"""Joint multi-task training of one MANN over all bAbI tasks.
+
+MemN2N's evaluation includes a *jointly* trained model: a single set of
+weights for all 20 tasks, sharing the embedding, controller and output
+matrices. For the accelerator this is the most favourable deployment —
+one model transfer serves every task — so this module provides the
+joint-training path alongside the per-task suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.babi.dataset import BabiDataset, EncodedBatch
+from repro.babi.story import QAExample
+from repro.babi.tasks import get_generator
+from repro.babi.vocab import Vocab
+from repro.mann.config import MannConfig
+from repro.mann.inference import InferenceEngine
+from repro.mann.model import MemoryNetwork
+from repro.mann.trainer import Trainer
+from repro.utils.rng import spawn_rngs
+
+
+@dataclass
+class JointDataset:
+    """Examples of several tasks merged into one encoding space."""
+
+    dataset: BabiDataset
+    task_of_example: np.ndarray  # task id per example
+
+    def task_indices(self, task_id: int) -> np.ndarray:
+        return np.flatnonzero(self.task_of_example == task_id)
+
+
+@dataclass
+class JointTrainResult:
+    """Jointly trained model plus per-task evaluation."""
+
+    model: MemoryNetwork
+    engine: InferenceEngine
+    train: JointDataset
+    test: JointDataset
+    per_task_accuracy: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def mean_accuracy(self) -> float:
+        return float(np.mean(list(self.per_task_accuracy.values())))
+
+
+def _generate_examples(
+    task_ids: tuple[int, ...], n_per_task: int, seed: int
+) -> tuple[list[QAExample], list[int]]:
+    rngs = spawn_rngs(seed, len(task_ids))
+    examples: list[QAExample] = []
+    task_of_example: list[int] = []
+    for rng, task_id in zip(rngs, task_ids):
+        for example in get_generator(task_id)(rng, n_per_task):
+            examples.append(example)
+            task_of_example.append(task_id)
+    return examples, task_of_example
+
+
+def build_joint_dataset(
+    task_ids: tuple[int, ...],
+    n_per_task: int,
+    seed: int,
+    vocab: Vocab | None = None,
+    memory_size: int | None = None,
+    sentence_len: int | None = None,
+) -> JointDataset:
+    """Generate and merge examples of several tasks."""
+    if not task_ids:
+        raise ValueError("need at least one task")
+    examples, task_of_example = _generate_examples(task_ids, n_per_task, seed)
+    dataset = BabiDataset(examples, vocab, memory_size, sentence_len)
+    return JointDataset(dataset, np.array(task_of_example))
+
+
+def train_joint_model(
+    task_ids: tuple[int, ...] = tuple(range(1, 21)),
+    n_train_per_task: int = 100,
+    n_test_per_task: int = 40,
+    embed_dim: int = 24,
+    hops: int = 3,
+    epochs: int = 40,
+    lr: float = 0.01,
+    batch_size: int = 32,
+    seed: int = 17,
+) -> JointTrainResult:
+    """Train one model over all requested tasks; evaluate per task."""
+    # Generate both splits first so the vocabulary and the encoding
+    # dimensions cover the union (the accelerator holds one model).
+    train_examples, train_tasks = _generate_examples(
+        task_ids, n_train_per_task, seed
+    )
+    test_examples, test_tasks = _generate_examples(
+        task_ids, n_test_per_task, seed + 1
+    )
+    union = BabiDataset(train_examples + test_examples)
+    train = JointDataset(
+        BabiDataset(
+            train_examples, union.vocab, union.memory_size, union.sentence_len
+        ),
+        np.array(train_tasks),
+    )
+    test = JointDataset(
+        BabiDataset(
+            test_examples, union.vocab, union.memory_size, union.sentence_len
+        ),
+        np.array(test_tasks),
+    )
+    config = MannConfig(
+        vocab_size=len(train.dataset.vocab),
+        embed_dim=embed_dim,
+        memory_size=train.dataset.memory_size,
+        hops=hops,
+        seed=seed,
+    )
+    model = MemoryNetwork(config)
+    trainer = Trainer(model, lr=lr, batch_size=batch_size, seed=seed)
+    trainer.fit(train.dataset.encode(), epochs=epochs, target_accuracy=0.99)
+
+    engine = InferenceEngine(model.export_weights())
+    result = JointTrainResult(model=model, engine=engine, train=train, test=test)
+    test_batch = test.dataset.encode()
+    predictions = engine.predict(
+        test_batch.stories, test_batch.questions, test_batch.story_lengths
+    )
+    for task_id in task_ids:
+        idx = test.task_indices(task_id)
+        result.per_task_accuracy[task_id] = float(
+            (predictions[idx] == test_batch.answers[idx]).mean()
+        )
+    return result

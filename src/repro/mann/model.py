@@ -1,0 +1,134 @@
+"""Trainable MemN2N built on the :mod:`repro.nn` autograd.
+
+The forward pass follows Eqs. 1-6 of the paper with MemN2N's RNN-style
+(layer-wise) weight tying: a single address embedding, content
+embedding, question embedding, controller matrix ``W_r`` and output
+matrix ``W_o`` are shared across hops, so multi-hop reads are exactly
+the recurrent READ path of the accelerator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.mann.config import MannConfig
+from repro.mann.weights import MannWeights
+from repro.utils.rng import new_rng
+
+
+class MemoryNetwork(nn.Module):
+    """End-to-End Memory Network over encoded bAbI batches."""
+
+    def __init__(self, config: MannConfig):
+        self.config = config
+        rng = new_rng(config.seed)
+        v, e, l = config.vocab_size, config.embed_dim, config.memory_size
+        std = config.init_std
+
+        def embedding_matrix() -> np.ndarray:
+            weight = rng.normal(0.0, std, size=(v, e))
+            weight[0] = 0.0  # pad row stays zero
+            return weight
+
+        self.w_emb_a = nn.Parameter(embedding_matrix(), name="w_emb_a")
+        self.w_emb_c = nn.Parameter(embedding_matrix(), name="w_emb_c")
+        self.w_emb_q = nn.Parameter(embedding_matrix(), name="w_emb_q")
+        self.w_r = nn.Parameter(rng.normal(0.0, std, size=(e, e)), name="w_r")
+        self.w_o = nn.Parameter(rng.normal(0.0, std, size=(v, e)), name="w_o")
+        if config.temporal_encoding:
+            self.t_a = nn.Parameter(rng.normal(0.0, std, size=(l, e)), name="t_a")
+            self.t_c = nn.Parameter(rng.normal(0.0, std, size=(l, e)), name="t_c")
+        else:
+            self.t_a = nn.Parameter(np.zeros((l, e)), name="t_a")
+            self.t_c = nn.Parameter(np.zeros((l, e)), name="t_c")
+
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        stories: np.ndarray,
+        questions: np.ndarray,
+        lengths: np.ndarray | None = None,
+    ) -> nn.Tensor:
+        """Compute logits for a batch.
+
+        ``stories``   (B, L, W) int indices, ``questions`` (B, W),
+        ``lengths``   (B,) count of real (non-pad) sentences per story;
+        attention over slots beyond a story's length is masked out so
+        the model matches the golden engine, which writes exactly one
+        memory element per streamed sentence.
+        Returns logits of shape (B, V).
+        """
+        stories = np.asarray(stories, dtype=np.int64)
+        questions = np.asarray(questions, dtype=np.int64)
+        if stories.ndim != 3:
+            raise ValueError(f"stories must be 3-D, got shape {stories.shape}")
+        if questions.ndim != 2:
+            raise ValueError(f"questions must be 2-D, got shape {questions.shape}")
+        batch, slots, _ = stories.shape
+        if slots != self.config.memory_size:
+            raise ValueError(
+                f"stories have {slots} slots, model expects "
+                f"{self.config.memory_size}"
+            )
+        if lengths is None:
+            lengths = np.full(batch, slots, dtype=np.int64)
+        else:
+            lengths = np.asarray(lengths, dtype=np.int64)
+        slot_mask = np.arange(slots)[None, :] < lengths[:, None]  # (B, L)
+        score_bias = np.where(slot_mask, 0.0, -1e30)
+
+        # Memory write (Eq. 2): bag-of-words sums of embedding rows,
+        # plus temporal encodings (real slots only).
+        mem_a = self.w_emb_a.take_rows(stories).sum(axis=2) + self.t_a * slot_mask[:, :, None]
+        mem_c = self.w_emb_c.take_rows(stories).sum(axis=2) + self.t_c * slot_mask[:, :, None]
+
+        # Initial read key (Eq. 3, t=1): embedded question.
+        key = self.w_emb_q.take_rows(questions).sum(axis=1)  # (B, E)
+
+        h = None
+        for _ in range(self.config.hops):
+            # Content-based addressing (Eq. 1) over the real slots.
+            scores = (mem_a * key.reshape(batch, 1, -1)).sum(axis=2) + score_bias
+            attention = scores.softmax(axis=1)  # (B, L)
+            # Read vector (Eq. 5).
+            read = (
+                mem_c * attention.reshape(batch, slots, 1)
+            ).sum(axis=1)  # (B, E)
+            # Controller output (Eq. 4).
+            h = read + key @ self.w_r
+            key = h  # Eq. 3, t > 1
+
+        # Output layer (Eq. 6): logits for every vocabulary index.
+        return h @ self.w_o.T
+
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        stories: np.ndarray,
+        questions: np.ndarray,
+        lengths: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Greedy label predictions without building the autograd graph."""
+        with nn.no_grad():
+            logits = self.forward(stories, questions, lengths)
+        return np.argmax(logits.data, axis=-1)
+
+    def zero_pad_rows(self) -> None:
+        """Re-zero the padding embedding rows (called after each update)."""
+        self.w_emb_a.data[0] = 0.0
+        self.w_emb_c.data[0] = 0.0
+        self.w_emb_q.data[0] = 0.0
+
+    def export_weights(self) -> MannWeights:
+        """Freeze current parameters into a :class:`MannWeights` snapshot."""
+        return MannWeights(
+            config=self.config,
+            w_emb_a=self.w_emb_a.data.copy(),
+            w_emb_c=self.w_emb_c.data.copy(),
+            w_emb_q=self.w_emb_q.data.copy(),
+            w_r=self.w_r.data.copy(),
+            w_o=self.w_o.data.copy(),
+            t_a=self.t_a.data.copy(),
+            t_c=self.t_c.data.copy(),
+        )

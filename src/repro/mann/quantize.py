@@ -1,0 +1,157 @@
+"""Fixed-point weight quantization (the paper's ref [10] direction).
+
+The authors' earlier work ("Quantized Memory-Augmented Neural
+Networks", AAAI 2018) showed MANN inference tolerates low-precision
+weights. This module provides Q-format (two's-complement fixed point)
+quantization of a trained :class:`~repro.mann.weights.MannWeights`:
+
+* :class:`QFormat` — a Qm.n representation (m integer bits, n fractional
+  bits, plus sign), with quantise/dequantise and introspection helpers.
+* :func:`quantize_weights` — snap every weight matrix to the grid and
+  return a new ``MannWeights`` (the golden engine, the accelerator and
+  the MIPS engines then run on it unchanged — weight quantization only,
+  activations stay float, as in the reference's inference mode).
+* :class:`QuantizationReport` — per-matrix error statistics and the
+  model-transfer byte savings the smaller word width buys on the host
+  interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.mann.weights import MannWeights
+
+_WEIGHT_FIELDS = ("w_emb_a", "w_emb_c", "w_emb_q", "w_r", "w_o", "t_a", "t_c")
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """Two's-complement fixed point with ``int_bits``.``frac_bits``.
+
+    Representable range is [-2^m, 2^m - 2^-n] with resolution 2^-n;
+    values outside the range saturate (hardware-style clamping rather
+    than wrap-around).
+    """
+
+    int_bits: int
+    frac_bits: int
+
+    def __post_init__(self):
+        if self.int_bits < 0 or self.frac_bits < 0:
+            raise ValueError("bit counts must be non-negative")
+        if self.int_bits + self.frac_bits == 0:
+            raise ValueError("need at least one magnitude bit")
+
+    @property
+    def total_bits(self) -> int:
+        """Word width including the sign bit."""
+        return 1 + self.int_bits + self.frac_bits
+
+    @property
+    def resolution(self) -> float:
+        return 2.0 ** (-self.frac_bits)
+
+    @property
+    def max_value(self) -> float:
+        return 2.0**self.int_bits - self.resolution
+
+    @property
+    def min_value(self) -> float:
+        return -(2.0**self.int_bits)
+
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Round to the grid and saturate to the representable range."""
+        values = np.asarray(values, dtype=np.float64)
+        scaled = np.round(values / self.resolution) * self.resolution
+        return np.clip(scaled, self.min_value, self.max_value)
+
+    def to_integers(self, values: np.ndarray) -> np.ndarray:
+        """The raw integer codes a hardware memory would store."""
+        q = self.quantize(values)
+        return np.round(q / self.resolution).astype(np.int64)
+
+    def from_integers(self, codes: np.ndarray) -> np.ndarray:
+        return np.asarray(codes, dtype=np.float64) * self.resolution
+
+    def __str__(self) -> str:
+        return f"Q{self.int_bits}.{self.frac_bits}"
+
+
+@dataclass
+class QuantizationReport:
+    """Error statistics and transfer savings of one quantization."""
+
+    qformat: QFormat
+    max_abs_error: dict[str, float]
+    rms_error: dict[str, float]
+    saturated_fraction: dict[str, float]
+    float_bytes: int
+    quantized_bytes: int
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.float_bytes / self.quantized_bytes
+
+    @property
+    def worst_max_abs_error(self) -> float:
+        return max(self.max_abs_error.values())
+
+
+def quantize_weights(
+    weights: MannWeights, qformat: QFormat
+) -> tuple[MannWeights, QuantizationReport]:
+    """Quantize every weight matrix of a trained model.
+
+    Returns the quantized weights (as float64 values lying exactly on
+    the fixed-point grid, ready for the existing engines) and a report.
+    """
+    quantized: dict[str, np.ndarray] = {}
+    max_abs: dict[str, float] = {}
+    rms: dict[str, float] = {}
+    saturated: dict[str, float] = {}
+    for name in _WEIGHT_FIELDS:
+        original = getattr(weights, name)
+        snapped = qformat.quantize(original)
+        quantized[name] = snapped
+        error = snapped - original
+        max_abs[name] = float(np.abs(error).max()) if error.size else 0.0
+        rms[name] = float(np.sqrt((error**2).mean())) if error.size else 0.0
+        saturated[name] = float(
+            np.mean(
+                (original > qformat.max_value) | (original < qformat.min_value)
+            )
+        )
+
+    new_weights = MannWeights(config=weights.config, **quantized)
+    n_params = weights.num_parameters()
+    report = QuantizationReport(
+        qformat=qformat,
+        max_abs_error=max_abs,
+        rms_error=rms,
+        saturated_fraction=saturated,
+        float_bytes=n_params * 4,
+        quantized_bytes=int(np.ceil(n_params * qformat.total_bits / 8)),
+    )
+    return new_weights, report
+
+
+def accuracy_vs_bits(
+    weights: MannWeights,
+    evaluate,
+    frac_bits_sweep: tuple[int, ...] = (12, 10, 8, 6, 4, 2),
+    int_bits: int = 3,
+) -> list[tuple[QFormat, float, QuantizationReport]]:
+    """Sweep fractional precision and measure accuracy via ``evaluate``.
+
+    ``evaluate`` maps a ``MannWeights`` to an accuracy in [0, 1] (e.g.
+    a closure over a test batch and the golden engine).
+    """
+    results = []
+    for frac_bits in frac_bits_sweep:
+        qformat = QFormat(int_bits, frac_bits)
+        quantized, report = quantize_weights(weights, qformat)
+        results.append((qformat, float(evaluate(quantized)), report))
+    return results

@@ -1,0 +1,65 @@
+"""Plain-numpy snapshot of trained MANN weights.
+
+The hardware simulator and the golden inference engine consume this
+frozen view instead of autograd tensors; it matches the parameter
+streams the paper's host transfers to the FPGA (Wemb_a, Wemb_c, Wemb_q,
+Wr, Wo and the temporal encodings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mann.config import MannConfig
+
+
+@dataclass
+class MannWeights:
+    """Frozen weights; shapes use V=vocab, E=embed, L=memory slots.
+
+    ``w_emb_a``  (V, E) address-memory embedding (paper's emb_a)
+    ``w_emb_c``  (V, E) content-memory embedding (emb_c)
+    ``w_emb_q``  (V, E) question embedding (emb_q)
+    ``w_r``      (E, E) controller weight W_r (Eq. 4)
+    ``w_o``      (V, E) output weight rows W_o (Eq. 6; row i gives logit i)
+    ``t_a``      (L, E) temporal encoding added to address memory (zeros
+                 when temporal encoding is disabled)
+    ``t_c``      (L, E) temporal encoding added to content memory
+    """
+
+    config: MannConfig
+    w_emb_a: np.ndarray
+    w_emb_c: np.ndarray
+    w_emb_q: np.ndarray
+    w_r: np.ndarray
+    w_o: np.ndarray
+    t_a: np.ndarray
+    t_c: np.ndarray
+
+    def __post_init__(self):
+        v, e, l = self.config.vocab_size, self.config.embed_dim, self.config.memory_size
+        expect = {
+            "w_emb_a": (v, e),
+            "w_emb_c": (v, e),
+            "w_emb_q": (v, e),
+            "w_r": (e, e),
+            "w_o": (v, e),
+            "t_a": (l, e),
+            "t_c": (l, e),
+        }
+        for name, shape in expect.items():
+            actual = getattr(self, name).shape
+            if actual != shape:
+                raise ValueError(f"{name} has shape {actual}, expected {shape}")
+
+    def num_parameters(self) -> int:
+        return sum(
+            getattr(self, name).size
+            for name in ("w_emb_a", "w_emb_c", "w_emb_q", "w_r", "w_o", "t_a", "t_c")
+        )
+
+    def nbytes(self, bytes_per_weight: int = 4) -> int:
+        """Model size as transferred to the device (float32 by default)."""
+        return self.num_parameters() * bytes_per_weight

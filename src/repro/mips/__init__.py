@@ -1,0 +1,37 @@
+"""Maximum inner-product search (MIPS) engines for the output layer.
+
+The OUTPUT module computes logits ``z_i = W_o[i] . h`` sequentially and
+returns the argmax (Eq. 6). This package provides:
+
+* :class:`ExactMips` — the conventional full sequential search
+  (Fig. 2a), counting every dot product and comparison.
+* :class:`InferenceThresholding` — the paper's data-based speculative
+  MIPS (Algorithm 1, Fig. 2b): per-index logit distributions estimated
+  on the training set, Bayes-posterior thresholds, and an efficient
+  visiting order by silhouette coefficient.
+* Related-work baselines: asymmetric-LSH (Shrivastava & Li 2014) and
+  spherical k-means clustering MIPS (Auvolat et al. 2015).
+"""
+
+from repro.mips.exact import ExactMips
+from repro.mips.histograms import GaussianKde, LogitHistogram
+from repro.mips.lsh import AlshMips
+from repro.mips.clustering import ClusteringMips
+from repro.mips.ordering import index_order_by_silhouette, silhouette_coefficient
+from repro.mips.stats import SearchResult, SearchStats
+from repro.mips.thresholding import InferenceThresholding, ThresholdModel, fit_threshold_model
+
+__all__ = [
+    "ExactMips",
+    "LogitHistogram",
+    "GaussianKde",
+    "AlshMips",
+    "ClusteringMips",
+    "silhouette_coefficient",
+    "index_order_by_silhouette",
+    "SearchResult",
+    "SearchStats",
+    "InferenceThresholding",
+    "ThresholdModel",
+    "fit_threshold_model",
+]

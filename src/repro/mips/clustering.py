@@ -1,0 +1,84 @@
+"""Clustering-based approximate MIPS baseline (Auvolat et al., 2015).
+
+Spherical k-means over the output rows; a query visits the ``n_probe``
+clusters whose centroids have the largest inner product with the query
+and scans only their members.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mips.stats import SearchResult
+
+
+class ClusteringMips:
+    """Spherical k-means MIPS index."""
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        n_clusters: int = 8,
+        n_probe: int = 2,
+        n_iterations: int = 20,
+        seed: int = 0,
+    ):
+        self.weight = np.asarray(weight, dtype=np.float64)
+        if self.weight.ndim != 2:
+            raise ValueError("weight must be (num_indices, dim)")
+        n_rows = self.weight.shape[0]
+        self.n_clusters = int(min(n_clusters, n_rows))
+        self.n_probe = int(min(n_probe, self.n_clusters))
+        rng = np.random.default_rng(seed)
+
+        norms = np.linalg.norm(self.weight, axis=1, keepdims=True)
+        normalised = np.divide(
+            self.weight, norms, out=np.zeros_like(self.weight), where=norms > 0
+        )
+        start = rng.choice(n_rows, size=self.n_clusters, replace=False)
+        centroids = normalised[start].copy()
+        assignment = np.zeros(n_rows, dtype=np.int64)
+        for _ in range(n_iterations):
+            similarity = normalised @ centroids.T
+            new_assignment = similarity.argmax(axis=1)
+            if np.array_equal(new_assignment, assignment):
+                assignment = new_assignment
+                break
+            assignment = new_assignment
+            for c in range(self.n_clusters):
+                members = normalised[assignment == c]
+                if len(members):
+                    mean = members.mean(axis=0)
+                    norm = np.linalg.norm(mean)
+                    centroids[c] = mean / norm if norm > 0 else mean
+        self.centroids = centroids
+        self.members: list[np.ndarray] = [
+            np.flatnonzero(assignment == c) for c in range(self.n_clusters)
+        ]
+        self.assignment = assignment
+
+    def search(self, query: np.ndarray) -> SearchResult:
+        query = np.asarray(query, dtype=np.float64)
+        centroid_scores = self.centroids @ query
+        probe = np.argsort(-centroid_scores)[: self.n_probe]
+        best_index = -1
+        best_logit = -np.inf
+        comparisons = len(centroid_scores)  # centroid dots also cost work
+        for cluster in probe:
+            for index in self.members[cluster]:
+                logit = float(self.weight[index] @ query)
+                comparisons += 1
+                if logit > best_logit:
+                    best_logit = logit
+                    best_index = int(index)
+        if best_index < 0:  # all probed clusters empty; full fallback
+            for index in range(self.weight.shape[0]):
+                logit = float(self.weight[index] @ query)
+                comparisons += 1
+                if logit > best_logit:
+                    best_logit = logit
+                    best_index = index
+        return SearchResult(best_index, best_logit, comparisons)
+
+    def search_batch(self, queries: np.ndarray) -> list[SearchResult]:
+        return [self.search(q) for q in np.asarray(queries)]

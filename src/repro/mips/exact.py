@@ -1,0 +1,47 @@
+"""Conventional full sequential MIPS (Fig. 2a)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mips.stats import SearchResult
+
+
+class ExactMips:
+    """Sequential scan over every output row — the baseline the OUTPUT
+    module implements without inference thresholding.
+
+    The scan order is configurable so the hardware simulator can reuse
+    this engine with the silhouette ordering while remaining exact.
+    """
+
+    def __init__(self, weight: np.ndarray, order: np.ndarray | None = None):
+        self.weight = np.asarray(weight, dtype=np.float64)
+        if self.weight.ndim != 2:
+            raise ValueError("weight must be (num_indices, dim)")
+        if order is None:
+            order = np.arange(self.weight.shape[0])
+        self.order = np.asarray(order, dtype=np.int64)
+        if sorted(self.order.tolist()) != list(range(self.weight.shape[0])):
+            raise ValueError("order must be a permutation of all indices")
+
+    @property
+    def num_indices(self) -> int:
+        return self.weight.shape[0]
+
+    def search(self, query: np.ndarray) -> SearchResult:
+        """Scan all indices; returns the exact argmax."""
+        query = np.asarray(query, dtype=np.float64)
+        best_index = -1
+        best_logit = -np.inf
+        comparisons = 0
+        for index in self.order:
+            logit = float(self.weight[index] @ query)
+            comparisons += 1
+            if logit > best_logit:
+                best_logit = logit
+                best_index = int(index)
+        return SearchResult(best_index, best_logit, comparisons)
+
+    def search_batch(self, queries: np.ndarray) -> list[SearchResult]:
+        return [self.search(q) for q in np.asarray(queries)]

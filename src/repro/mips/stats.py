@@ -1,0 +1,52 @@
+"""Result/statistics containers shared by all MIPS engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one MIPS query.
+
+    ``comparisons`` counts logit evaluations (each is one |E|-wide dot
+    product in the OUTPUT module plus one compare), the paper's Fig. 3
+    y-axis. ``early_exit`` is True when inference thresholding returned
+    speculatively before scanning every index.
+    """
+
+    label: int
+    logit: float
+    comparisons: int
+    early_exit: bool = False
+
+
+@dataclass
+class SearchStats:
+    """Aggregate counters over many queries."""
+
+    queries: int = 0
+    comparisons: int = 0
+    early_exits: int = 0
+    correct: int = 0
+    labels: list[int] = field(default_factory=list)
+
+    def record(self, result: SearchResult, true_label: int | None = None) -> None:
+        self.queries += 1
+        self.comparisons += result.comparisons
+        self.early_exits += int(result.early_exit)
+        self.labels.append(result.label)
+        if true_label is not None and result.label == int(true_label):
+            self.correct += 1
+
+    @property
+    def mean_comparisons(self) -> float:
+        return self.comparisons / self.queries if self.queries else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.queries if self.queries else 0.0
+
+    @property
+    def early_exit_rate(self) -> float:
+        return self.early_exits / self.queries if self.queries else 0.0

@@ -1,0 +1,233 @@
+"""Inference thresholding — the paper's Algorithm 1.
+
+Step 1  estimate per-index logit distributions on correctly classified
+        training examples (histogram HG_i for "i was the argmax",
+        HG_ibar for "i was not").
+Step 2  turn them into thresholds: theta_i is the smallest logit whose
+        Bayes posterior p(y=i | z_i) reaches the thresholding constant
+        rho.
+Step 3  order indices by descending silhouette coefficient.
+Step 4  at inference, scan indices in that order and return index a as
+        soon as z_a > theta_a; fall back to the exact argmax when no
+        logit clears its threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mips.histograms import GaussianKde, LogitHistogram
+from repro.mips.ordering import index_order_by_silhouette, silhouette_coefficient
+from repro.mips.stats import SearchResult
+
+
+@dataclass
+class ThresholdModel:
+    """Fitted Step 1-3 state, independent of the rho used at inference.
+
+    ``thresholds(rho)`` materialises Step 2 for a given rho so one fit
+    can serve the whole Fig. 3 sweep.
+
+    Densities default to the cheap fixed-bin histograms (``HG_i`` in
+    Algorithm 1); when fitted with ``density="kde"`` the posteriors use
+    Gaussian kernel density estimates instead — the estimator the paper
+    names for ``p(z_i | y = i)`` — at higher fitting cost.
+    """
+
+    n_indices: int
+    positive_hists: dict[int, LogitHistogram]
+    negative_hists: dict[int, LogitHistogram]
+    priors: np.ndarray  # p(y = i) on the training set
+    silhouettes: np.ndarray
+    order: np.ndarray  # descending silhouette (Step 3)
+    positive_kdes: dict[int, GaussianKde] | None = None
+    negative_kdes: dict[int, GaussianKde] | None = None
+
+    @property
+    def uses_kde(self) -> bool:
+        return self.positive_kdes is not None
+
+    def _densities(self, index: int, value: float) -> tuple[float, float]:
+        if self.uses_kde:
+            pos = self.positive_kdes.get(index)
+            neg = (self.negative_kdes or {}).get(index)
+            like_pos = float(pos.pdf(value)) if pos is not None else 0.0
+            like_neg = float(neg.pdf(value)) if neg is not None else 0.0
+            return like_pos, like_neg
+        pos = self.positive_hists.get(index)
+        neg = self.negative_hists.get(index)
+        like_pos = pos.pdf(value) if pos is not None and pos.total else 0.0
+        like_neg = neg.pdf(value) if neg is not None and neg.total else 0.0
+        return like_pos, like_neg
+
+    def posterior(self, index: int, value: float) -> float:
+        """p(y = i | z_i = value) via Bayes over the two densities."""
+        if index not in self.positive_hists or not self.positive_hists[index].total:
+            return 0.0
+        prior = float(self.priors[index])
+        like_pos, like_neg = self._densities(index, value)
+        like_pos *= prior
+        like_neg *= 1.0 - prior
+        denom = like_pos + like_neg
+        return like_pos / denom if denom > 0 else 0.0
+
+    def thresholds(self, rho: float) -> np.ndarray:
+        """Step 2: theta_i = min{ z : p(y=i|z) >= rho } per index.
+
+        Indices with no positive training mass get +inf (never
+        speculated). rho may be 1.0: bins where the negative histogram
+        has zero density then define the threshold.
+        """
+        if not 0.0 < rho <= 1.0:
+            raise ValueError(f"rho must be in (0, 1], got {rho}")
+        theta = np.full(self.n_indices, np.inf)
+        for index, pos in self.positive_hists.items():
+            if pos.total == 0:
+                continue
+            centers = pos.bin_centers()
+            candidates = [
+                center
+                for center, count in zip(centers, pos.counts)
+                if count > 0 and self.posterior(index, float(center)) >= rho
+            ]
+            if candidates:
+                theta[index] = float(min(candidates))
+        return theta
+
+
+def fit_threshold_model(
+    logits: np.ndarray,
+    labels: np.ndarray,
+    n_bins: int = 64,
+    range_padding: float = 0.1,
+    density: str = "histogram",
+) -> ThresholdModel:
+    """Step 1 + Step 3 of Algorithm 1 from training-set logits.
+
+    ``logits`` is (N, I) from forward passes of the trained model M on
+    the training data; ``labels`` the true training labels. Only
+    correctly predicted examples update the statistics, exactly as in
+    Algorithm 1. ``density`` selects the estimator for the posteriors:
+    ``"histogram"`` (cheap, Algorithm 1's HG_i) or ``"kde"`` (Gaussian
+    kernels, the estimator the paper names for p(z_i|y=i)).
+    """
+    if density not in ("histogram", "kde"):
+        raise ValueError(f"unknown density estimator {density!r}")
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError("logits must be (N, I)")
+    if len(labels) != len(logits):
+        raise ValueError("labels and logits must have the same length")
+    n, n_indices = logits.shape
+
+    low = float(logits.min())
+    high = float(logits.max())
+    pad = (high - low) * range_padding + 1e-9
+    low, high = low - pad, high + pad
+
+    positive_hists: dict[int, LogitHistogram] = {}
+    negative_hists: dict[int, LogitHistogram] = {}
+    positive_samples: dict[int, list[float]] = {}
+    negative_samples: dict[int, list[float]] = {}
+    prior_counts = np.zeros(n_indices)
+
+    predictions = logits.argmax(axis=1)
+    for row, (pred, label) in enumerate(zip(predictions, labels)):
+        prior_counts[label] += 1
+        if pred != label:
+            continue  # Algorithm 1 only learns from correct predictions
+        for index in range(n_indices):
+            value = float(logits[row, index])
+            if index == label:
+                hist = positive_hists.setdefault(
+                    index, LogitHistogram(low, high, n_bins)
+                )
+                hist.update(value)
+                positive_samples.setdefault(index, []).append(value)
+            else:
+                hist = negative_hists.setdefault(
+                    index, LogitHistogram(low, high, n_bins)
+                )
+                hist.update(value)
+                negative_samples.setdefault(index, []).append(value)
+
+    priors = prior_counts / max(n, 1)
+    silhouettes = np.zeros(n_indices)
+    for index in range(n_indices):
+        silhouettes[index] = silhouette_coefficient(
+            np.array(positive_samples.get(index, [])),
+            np.array(negative_samples.get(index, [])),
+        )
+    order = index_order_by_silhouette(silhouettes)
+
+    positive_kdes = negative_kdes = None
+    if density == "kde":
+        positive_kdes = {
+            index: GaussianKde(np.array(samples))
+            for index, samples in positive_samples.items()
+            if samples
+        }
+        negative_kdes = {
+            index: GaussianKde(np.array(samples))
+            for index, samples in negative_samples.items()
+            if samples
+        }
+    return ThresholdModel(
+        n_indices=n_indices,
+        positive_hists=positive_hists,
+        negative_hists=negative_hists,
+        priors=priors,
+        silhouettes=silhouettes,
+        order=order,
+        positive_kdes=positive_kdes,
+        negative_kdes=negative_kdes,
+    )
+
+
+class InferenceThresholding:
+    """Step 4 of Algorithm 1: the speculative sequential search engine."""
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        model: ThresholdModel,
+        rho: float = 1.0,
+        use_index_ordering: bool = True,
+    ):
+        self.weight = np.asarray(weight, dtype=np.float64)
+        if self.weight.shape[0] != model.n_indices:
+            raise ValueError(
+                f"weight has {self.weight.shape[0]} rows, threshold model "
+                f"covers {model.n_indices} indices"
+            )
+        self.model = model
+        self.rho = float(rho)
+        self.use_index_ordering = bool(use_index_ordering)
+        self.theta = model.thresholds(rho)
+        self.order = (
+            model.order.copy()
+            if use_index_ordering
+            else np.arange(model.n_indices)
+        )
+
+    def search(self, query: np.ndarray) -> SearchResult:
+        """Visit indices in order; exit early once z_a > theta_a."""
+        query = np.asarray(query, dtype=np.float64)
+        best_index = -1
+        best_logit = -np.inf
+        comparisons = 0
+        for index in self.order:
+            logit = float(self.weight[index] @ query)
+            comparisons += 1
+            if logit > self.theta[index]:
+                return SearchResult(int(index), logit, comparisons, early_exit=True)
+            if logit > best_logit:
+                best_logit = logit
+                best_index = int(index)
+        return SearchResult(best_index, best_logit, comparisons, early_exit=False)
+
+    def search_batch(self, queries: np.ndarray) -> list[SearchResult]:
+        return [self.search(q) for q in np.asarray(queries)]

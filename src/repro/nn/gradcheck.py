@@ -1,0 +1,65 @@
+"""Numerical gradient checking used by the test suite."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numerical_gradient(
+    fn: Callable[[np.ndarray], float],
+    x: np.ndarray,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued function."""
+    x = np.asarray(x, dtype=np.float64)
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[[Tensor], Tensor],
+    x: np.ndarray,
+    eps: float = 1e-6,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> bool:
+    """Compare autograd and numerical gradients of ``fn`` at ``x``.
+
+    ``fn`` maps a Tensor to a scalar Tensor. Raises AssertionError with a
+    diagnostic message when the check fails; returns True otherwise.
+    """
+    x = np.asarray(x, dtype=np.float64)
+
+    t = Tensor(x.copy(), requires_grad=True)
+    out = fn(t)
+    if out.size != 1:
+        raise ValueError("gradcheck requires a scalar-valued function")
+    out.backward()
+    analytic = t.grad.copy() if t.grad is not None else np.zeros_like(x)
+
+    def scalar_fn(arr: np.ndarray) -> float:
+        return float(fn(Tensor(arr.copy())).data)
+
+    numeric = numerical_gradient(scalar_fn, x, eps=eps)
+
+    if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+        worst = np.abs(analytic - numeric).max()
+        raise AssertionError(
+            f"gradcheck failed: max abs difference {worst:.3e}\n"
+            f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+        )
+    return True

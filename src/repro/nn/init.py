@@ -1,0 +1,48 @@
+"""Weight initialisers.
+
+MemN2N uses N(0, 0.1) Gaussian initialisation for all embedding and
+projection matrices; Xavier is provided for the generic layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _rng_or_default(rng: np.random.Generator | None) -> np.random.Generator:
+    return rng if rng is not None else np.random.default_rng(0)
+
+
+def normal_init(
+    shape: tuple[int, ...],
+    rng: np.random.Generator | None = None,
+    std: float = 0.1,
+    mean: float = 0.0,
+) -> np.ndarray:
+    """Gaussian init; the MemN2N paper default is N(0, 0.1)."""
+    return _rng_or_default(rng).normal(mean, std, size=shape)
+
+
+def uniform_init(
+    shape: tuple[int, ...],
+    rng: np.random.Generator | None = None,
+    low: float = -0.1,
+    high: float = 0.1,
+) -> np.ndarray:
+    return _rng_or_default(rng).uniform(low, high, size=shape)
+
+
+def xavier_init(
+    shape: tuple[int, ...],
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Glorot uniform initialisation for 2-D weight matrices."""
+    if len(shape) < 2:
+        raise ValueError("xavier init needs at least 2 dimensions")
+    fan_in, fan_out = shape[0], shape[1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return _rng_or_default(rng).uniform(-limit, limit, size=shape)
+
+
+def zeros_init(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)

@@ -1,0 +1,67 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper reports; this module
+keeps that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Format a float with fixed decimals, tolerating None."""
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def format_ratio(value: float, digits: int = 2) -> str:
+    """Format a normalised ratio like the paper's "126.72x"."""
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}x"
+
+
+class TextTable:
+    """A minimal left-aligned ASCII table.
+
+    >>> t = TextTable(["config", "time"])
+    >>> t.add_row(["GPU", "226.90"])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(row)
+
+    def _widths(self) -> list[int]:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self) -> str:
+        widths = self._widths()
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

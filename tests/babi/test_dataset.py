@@ -1,0 +1,128 @@
+"""Tests for dataset encoding and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.babi.dataset import BabiDataset, generate_task_dataset
+from repro.babi.story import QAExample, Sentence
+from repro.babi.vocab import Vocab
+
+
+def _tiny_examples():
+    return [
+        QAExample(
+            1,
+            [Sentence.from_text("mary went to the kitchen"),
+             Sentence.from_text("john went to the garden")],
+            Sentence.from_text("where is mary"),
+            "kitchen",
+            (0,),
+        ),
+        QAExample(
+            1,
+            [Sentence.from_text("john went to the office")],
+            Sentence.from_text("where is john"),
+            "office",
+            (0,),
+        ),
+    ]
+
+
+class TestBabiDataset:
+    def test_dimensions_inferred(self):
+        ds = BabiDataset(_tiny_examples())
+        assert ds.memory_size == 2
+        assert ds.sentence_len == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BabiDataset([])
+
+    def test_encode_example_indices(self):
+        ds = BabiDataset(_tiny_examples())
+        story, question, answer = ds.encode_example(ds.examples[0])
+        assert story.shape == (2, 5)
+        assert question.shape == (5,)
+        assert ds.vocab.word(answer) == "kitchen"
+        # First sentence fully encoded, no pad in the word positions.
+        assert (story[0] != 0).sum() == 5
+
+    def test_encode_pads_short_stories(self):
+        ds = BabiDataset(_tiny_examples())
+        story, _, _ = ds.encode_example(ds.examples[1])
+        assert np.array_equal(story[1], np.zeros(5, dtype=np.int64))
+
+    def test_memory_overflow_keeps_recent(self):
+        examples = _tiny_examples()
+        ds = BabiDataset(examples, memory_size=1)
+        story, _, _ = ds.encode_example(examples[0])
+        # Only the most recent sentence is kept.
+        assert ds.vocab.word(story[0][0]) == "john"
+
+    def test_encode_batch_shapes(self):
+        ds = BabiDataset(_tiny_examples())
+        batch = ds.encode()
+        assert batch.stories.shape == (2, 2, 5)
+        assert batch.questions.shape == (2, 5)
+        assert batch.answers.shape == (2,)
+        assert batch.story_lengths.tolist() == [2, 1]
+
+    def test_batch_subset(self):
+        ds = BabiDataset(_tiny_examples())
+        sub = ds.encode().subset(np.array([1]))
+        assert len(sub) == 1
+        assert sub.story_lengths[0] == 1
+
+    def test_split_preserves_vocab_and_dims(self):
+        examples = _tiny_examples() * 10
+        ds = BabiDataset(examples)
+        train, test = ds.split(0.75, seed=0)
+        assert train.vocab is ds.vocab
+        assert train.memory_size == ds.memory_size
+        assert len(train) + len(test) == len(ds)
+
+    def test_split_fraction_bounds(self):
+        ds = BabiDataset(_tiny_examples())
+        with pytest.raises(ValueError):
+            ds.split(0.0)
+        with pytest.raises(ValueError):
+            ds.split(1.0)
+
+    def test_majority_baseline(self):
+        examples = _tiny_examples() + _tiny_examples()[:1]
+        ds = BabiDataset(examples)
+        # kitchen appears 2/3 of the time.
+        assert ds.majority_baseline_accuracy() == pytest.approx(2 / 3)
+
+    def test_shared_vocab_constructor(self):
+        vocab = Vocab.from_examples(_tiny_examples())
+        ds = BabiDataset(_tiny_examples(), vocab, 4, 8)
+        assert ds.memory_size == 4
+        assert ds.sentence_len == 8
+        batch = ds.encode()
+        assert batch.stories.shape == (2, 4, 8)
+
+
+class TestGenerateTaskDataset:
+    def test_counts(self):
+        train, test = generate_task_dataset(1, 20, 10, seed=0)
+        assert len(train) == 20
+        assert len(test) == 10
+
+    def test_shared_vocab_and_dims(self):
+        train, test = generate_task_dataset(2, 20, 10, seed=0)
+        assert train.vocab is test.vocab
+        assert train.memory_size == test.memory_size
+        assert train.sentence_len == test.sentence_len
+
+    def test_test_vocab_covered(self):
+        _, test = generate_task_dataset(3, 15, 10, seed=1)
+        batch = test.encode()  # would raise KeyError on missing words
+        assert batch.stories.max() < test.vocab_size
+
+    def test_deterministic(self):
+        a_train, _ = generate_task_dataset(5, 10, 5, seed=9)
+        b_train, _ = generate_task_dataset(5, 10, 5, seed=9)
+        assert np.array_equal(
+            a_train.encode().stories, b_train.encode().stories
+        )

@@ -1,0 +1,64 @@
+"""Hypothesis property tests over the task generators."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.babi.dataset import BabiDataset
+from repro.babi.tasks import all_task_ids, get_generator
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    task_id=st.sampled_from(all_task_ids()),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_generator_always_yields_valid_examples(task_id, seed):
+    examples = get_generator(task_id)(np.random.default_rng(seed), 5)
+    assert len(examples) == 5
+    for e in examples:
+        assert e.story
+        assert e.answer
+        assert all(0 <= i < len(e.story) for i in e.supporting)
+        # Every token survives the vocabulary round trip.
+        ds = BabiDataset([e])
+        story, question, answer = ds.encode_example(e)
+        assert ds.vocab.word(answer) == e.answer
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_task1_answer_always_a_location(seed):
+    from repro.babi.world import LOCATIONS
+
+    examples = get_generator(1)(np.random.default_rng(seed), 10)
+    for e in examples:
+        assert e.answer in LOCATIONS
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_yesno_tasks_answer_space(seed):
+    rng = np.random.default_rng(seed)
+    for task_id, allowed in ((6, {"yes", "no"}), (9, {"yes", "no", "maybe"}),
+                             (10, {"yes", "no", "maybe"}),
+                             (17, {"yes", "no"}), (18, {"yes", "no"})):
+        for e in get_generator(task_id)(rng, 5):
+            assert e.answer in allowed
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_encoding_roundtrip_any_task(seed):
+    rng = np.random.default_rng(seed)
+    task_id = int(rng.integers(1, 21))
+    examples = get_generator(task_id)(rng, 8)
+    ds = BabiDataset(examples)
+    batch = ds.encode()
+    assert batch.stories.shape[0] == 8
+    assert (batch.story_lengths >= 1).all()
+    assert (batch.story_lengths <= ds.memory_size).all()
+    # Padding is exactly the zero index.
+    for i in range(8):
+        n = batch.story_lengths[i]
+        assert (batch.stories[i, n:] == 0).all()

@@ -1,0 +1,99 @@
+"""Tests for story structures and vocabulary."""
+
+import pytest
+
+from repro.babi.story import QAExample, Sentence
+from repro.babi.vocab import PAD_TOKEN, Vocab
+
+
+class TestSentence:
+    def test_from_text_strips_punctuation(self):
+        s = Sentence.from_text("Mary went to the Kitchen.")
+        assert s.tokens == ("mary", "went", "to", "the", "kitchen")
+
+    def test_lowercasing(self):
+        assert Sentence(("MARY",)).tokens == ("mary",)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Sentence(())
+
+    def test_text_roundtrip(self):
+        s = Sentence.from_text("john grabbed the apple")
+        assert s.text() == "john grabbed the apple"
+
+    def test_len(self):
+        assert len(Sentence.from_text("a b c")) == 3
+
+
+class TestQAExample:
+    def _example(self, supporting=(0,)):
+        return QAExample(
+            task_id=1,
+            story=[Sentence.from_text("mary went to the kitchen")],
+            question=Sentence.from_text("where is mary"),
+            answer="Kitchen",
+            supporting=supporting,
+        )
+
+    def test_answer_lowercased(self):
+        assert self._example().answer == "kitchen"
+
+    def test_supporting_bounds_checked(self):
+        with pytest.raises(ValueError):
+            self._example(supporting=(5,))
+
+    def test_empty_story_rejected(self):
+        with pytest.raises(ValueError):
+            QAExample(1, [], Sentence.from_text("q"), "a")
+
+    def test_all_tokens_includes_answer(self):
+        assert "kitchen" in self._example().all_tokens()
+
+    def test_text_rendering(self):
+        text = self._example().text()
+        assert "Q: where is mary?" in text
+        assert "A: kitchen" in text
+
+
+class TestVocab:
+    def test_pad_is_index_zero(self):
+        v = Vocab()
+        assert v.index(PAD_TOKEN) == 0
+        assert v.pad_index == 0
+
+    def test_add_idempotent(self):
+        v = Vocab()
+        first = v.add("kitchen")
+        second = v.add("Kitchen")
+        assert first == second
+        assert len(v) == 2
+
+    def test_index_word_roundtrip(self):
+        v = Vocab(["alpha", "beta"])
+        assert v.word(v.index("beta")) == "beta"
+
+    def test_unknown_word_raises(self):
+        with pytest.raises(KeyError):
+            Vocab().index("missing")
+
+    def test_contains(self):
+        v = Vocab(["word"])
+        assert "word" in v
+        assert "WORD" in v
+        assert "other" not in v
+
+    def test_from_examples_covers_everything(self):
+        ex = QAExample(
+            1,
+            [Sentence.from_text("mary went home")],
+            Sentence.from_text("where is mary"),
+            "home",
+        )
+        v = Vocab.from_examples([ex])
+        for token in ex.all_tokens():
+            assert token in v
+
+    def test_words_listing(self):
+        v = Vocab(["a"])
+        assert v.words() == [PAD_TOKEN, "a"]

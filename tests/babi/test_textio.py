@@ -1,0 +1,98 @@
+"""Tests for bAbI text-format serialization."""
+
+import numpy as np
+import pytest
+
+from repro.babi.dataset import BabiDataset
+from repro.babi.tasks import all_task_ids, get_generator
+from repro.babi.textio import (
+    format_examples,
+    parse_text,
+    read_babi_file,
+    write_babi_file,
+)
+
+SAMPLE = """\
+1 Mary moved to the bathroom.
+2 John went to the hallway.
+3 Where is Mary?\tbathroom\t1
+1 Daniel went back to the office.
+2 Where is Daniel?\toffice\t1
+"""
+
+
+class TestParse:
+    def test_parses_two_examples(self):
+        examples = parse_text(SAMPLE, task_id=1)
+        assert len(examples) == 2
+        assert examples[0].answer == "bathroom"
+        assert examples[1].answer == "office"
+
+    def test_story_excludes_questions(self):
+        examples = parse_text(SAMPLE)
+        assert len(examples[0].story) == 2
+        assert examples[0].story[0].tokens[0] == "mary"
+
+    def test_supporting_facts_remapped(self):
+        examples = parse_text(SAMPLE)
+        assert examples[0].supporting == (0,)
+        assert examples[1].supporting == (0,)
+
+    def test_numbering_reset_starts_new_story(self):
+        examples = parse_text(SAMPLE)
+        assert len(examples[1].story) == 1
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_text("nonumber here")
+        with pytest.raises(ValueError):
+            parse_text("x bad line")
+
+    def test_question_before_facts_rejected(self):
+        with pytest.raises(ValueError):
+            parse_text("1 Where is Mary?\tbathroom\t1")
+
+    def test_unknown_supporting_line_rejected(self):
+        bad = "1 Mary moved.\n2 Where is Mary?\tbathroom\t9\n"
+        with pytest.raises(ValueError):
+            parse_text(bad)
+
+    def test_question_without_supports(self):
+        text = "1 Mary moved to the bathroom.\n2 Where is Mary?\tbathroom\t\n"
+        examples = parse_text(text)
+        assert examples[0].supporting == ()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("task_id", [1, 6, 15, 19])
+    def test_generator_output_roundtrips(self, task_id):
+        examples = get_generator(task_id)(np.random.default_rng(7), 10)
+        text = format_examples(examples)
+        parsed = parse_text(text, task_id=task_id)
+        assert len(parsed) == len(examples)
+        for original, restored in zip(examples, parsed):
+            assert restored.answer == original.answer
+            assert restored.question == original.question
+            assert len(restored.story) == len(original.story)
+            assert restored.supporting == original.supporting
+
+    def test_file_roundtrip(self, tmp_path):
+        examples = get_generator(2)(np.random.default_rng(3), 5)
+        path = tmp_path / "task2.txt"
+        write_babi_file(path, examples)
+        restored = read_babi_file(path, task_id=2)
+        assert len(restored) == 5
+        assert restored[0].answer == examples[0].answer
+
+    def test_parsed_examples_feed_dataset_pipeline(self):
+        examples = parse_text(SAMPLE, task_id=1)
+        ds = BabiDataset(examples)
+        batch = ds.encode()
+        assert batch.stories.shape[0] == 2
+
+    def test_all_tasks_serializable(self):
+        rng = np.random.default_rng(0)
+        for task_id in all_task_ids():
+            examples = get_generator(task_id)(rng, 3)
+            text = format_examples(examples)
+            assert parse_text(text, task_id)

@@ -1,0 +1,101 @@
+"""Tests for the story-world state tracker."""
+
+import numpy as np
+import pytest
+
+from repro.babi.world import (
+    WorldConfig,
+    WorldState,
+    choose,
+    choose_distinct,
+)
+
+
+class TestWorldConfig:
+    def test_default_pools(self):
+        cfg = WorldConfig()
+        assert len(cfg.actors()) == 4
+        assert len(cfg.locations()) == 6
+        assert len(cfg.objects()) == 3
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            WorldConfig(n_actors=0).actors()
+        with pytest.raises(ValueError):
+            WorldConfig(n_locations=1).locations()
+        with pytest.raises(ValueError):
+            WorldConfig(n_objects=99).objects()
+
+
+class TestWorldState:
+    def test_move_updates_location_and_fact(self):
+        s = WorldState()
+        s.move("mary", "kitchen", 3)
+        assert s.actor_location["mary"] == "kitchen"
+        assert s.actor_location_fact["mary"] == 3
+
+    def test_grab_and_carry(self):
+        s = WorldState()
+        s.move("mary", "kitchen", 0)
+        s.grab("mary", "apple", 1)
+        assert s.carried_by("mary") == ["apple"]
+        assert s.carrier_of("apple") == "mary"
+        assert s.holding_fact[("mary", "apple")] == 1
+
+    def test_object_follows_carrier(self):
+        s = WorldState()
+        s.move("mary", "kitchen", 0)
+        s.grab("mary", "apple", 1)
+        s.move("mary", "garden", 2)
+        assert s.location_of_object("apple") == "garden"
+        history = s.object_location_history["apple"]
+        assert [loc for loc, _ in history] == ["kitchen", "garden"]
+
+    def test_drop_releases_object(self):
+        s = WorldState()
+        s.move("mary", "kitchen", 0)
+        s.grab("mary", "apple", 1)
+        s.drop("mary", "apple", 2)
+        assert s.carrier_of("apple") is None
+        assert s.carried_by("mary") == []
+
+    def test_drop_not_held_rejected(self):
+        s = WorldState()
+        with pytest.raises(ValueError):
+            s.drop("mary", "apple", 0)
+
+    def test_give_transfers_ownership(self):
+        s = WorldState()
+        s.move("mary", "kitchen", 0)
+        s.move("john", "garden", 1)
+        s.grab("mary", "apple", 2)
+        s.give("mary", "john", "apple", 3)
+        assert s.carrier_of("apple") == "john"
+        # The object is now wherever john is.
+        assert s.location_of_object("apple") == "garden"
+
+    def test_dropped_object_stays_put(self):
+        s = WorldState()
+        s.move("mary", "kitchen", 0)
+        s.grab("mary", "apple", 1)
+        s.drop("mary", "apple", 2)
+        s.move("mary", "garden", 3)
+        assert s.location_of_object("apple") == "kitchen"
+
+
+class TestChoiceHelpers:
+    def test_choose_uniform_support(self):
+        rng = np.random.default_rng(0)
+        pool = ("a", "b", "c")
+        seen = {choose(rng, pool) for _ in range(100)}
+        assert seen == {"a", "b", "c"}
+
+    def test_choose_distinct_no_repeats(self):
+        rng = np.random.default_rng(0)
+        picked = choose_distinct(rng, list("abcdef"), 4)
+        assert len(set(picked)) == 4
+
+    def test_choose_distinct_too_many_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            choose_distinct(rng, ["a"], 2)

@@ -1,0 +1,60 @@
+"""Shared fixtures: small trained systems reused across test modules.
+
+Training is the slow part, so one small task-1 system and one two-task
+suite are built once per session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.babi import generate_task_dataset
+from repro.eval.suite import BabiSuite, SuiteConfig
+from repro.mann import InferenceEngine, train_task_model
+from repro.mips import fit_threshold_model
+
+
+@pytest.fixture(scope="session")
+def task1_system():
+    """A trained task-1 model plus everything inference needs."""
+    train, test = generate_task_dataset(task_id=1, n_train=200, n_test=80, seed=11)
+    result = train_task_model(train, test, epochs=40, seed=0)
+    weights = result.model.export_weights()
+    engine = InferenceEngine(weights)
+    train_batch = train.encode()
+    test_batch = test.encode()
+    train_logits = engine.logits_batch(
+        train_batch.stories, train_batch.questions, train_batch.story_lengths
+    )
+    threshold_model = fit_threshold_model(train_logits, train_batch.answers)
+    return {
+        "train": train,
+        "test": test,
+        "train_batch": train_batch,
+        "test_batch": test_batch,
+        "result": result,
+        "weights": weights,
+        "engine": engine,
+        "train_logits": train_logits,
+        "threshold_model": threshold_model,
+    }
+
+
+@pytest.fixture(scope="session")
+def small_suite():
+    """A three-task suite with a shared vocabulary."""
+    return BabiSuite.build(
+        SuiteConfig(
+            task_ids=(1, 6, 15),
+            n_train=120,
+            n_test=40,
+            epochs=25,
+            seed=3,
+        )
+    )
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,89 @@
+"""Tests for the CPU/GPU baseline device models."""
+
+import pytest
+
+from repro.devices import CpuModel, GpuModel
+from repro.hw.calibration import DEFAULT_CALIBRATION
+from repro.hw.opcounts import ExampleOpCounts, OpCounter
+
+
+@pytest.fixture()
+def workload():
+    """A representative per-task op trace: 50 examples of a QA task."""
+    counter = OpCounter(embed_dim=20)
+    total = ExampleOpCounts()
+    for _ in range(50):
+        total = total + counter.example([5, 5, 4, 6], 3, hops=3, output_visited=150)
+    return total
+
+
+class TestGpuModel:
+    def test_time_positive_and_launch_bound(self, workload):
+        gpu = GpuModel()
+        report = gpu.run(workload, 50)
+        breakdown = gpu.time_breakdown(workload, 50)
+        assert report.seconds > 0
+        # The paper's premise: tiny recurrent kernels are launch-bound.
+        assert breakdown["kernel_launch"] > 0.5 * report.seconds
+
+    def test_power_is_measured_class_value(self, workload):
+        assert GpuModel().run(workload, 50).power_w == pytest.approx(
+            DEFAULT_CALIBRATION.gpu_power
+        )
+
+    def test_energy_and_efficiency(self, workload):
+        report = GpuModel().run(workload, 50)
+        assert report.energy_joules == pytest.approx(
+            report.seconds * report.power_w
+        )
+        assert report.flops_per_kilojoule() > 0
+
+    def test_time_scales_with_launches(self, workload):
+        gpu = GpuModel()
+        double = workload + workload
+        assert gpu.run(double, 100).seconds > 1.9 * gpu.run(workload, 50).seconds
+
+    def test_invalid_examples_rejected(self, workload):
+        with pytest.raises(ValueError):
+            GpuModel().run(workload, 0)
+
+
+class TestCpuModel:
+    def test_time_positive(self, workload):
+        assert CpuModel().run(workload, 50).seconds > 0
+
+    def test_power(self, workload):
+        assert CpuModel().run(workload, 50).power_w == pytest.approx(
+            DEFAULT_CALIBRATION.cpu_power
+        )
+
+    def test_breakdown_sums_to_total(self, workload):
+        cpu = CpuModel()
+        report = cpu.run(workload, 50)
+        breakdown = cpu.time_breakdown(workload, 50)
+        assert sum(breakdown.values()) == pytest.approx(report.seconds)
+
+    def test_invalid_examples_rejected(self, workload):
+        with pytest.raises(ValueError):
+            CpuModel().run(workload, 0)
+
+
+class TestPaperOrdering:
+    """The relative device behaviour the paper measured."""
+
+    def test_cpu_roughly_at_gpu_parity(self, workload):
+        gpu = GpuModel().run(workload, 50)
+        cpu = CpuModel().run(workload, 50)
+        speedup = gpu.seconds / cpu.seconds
+        assert 0.7 < speedup < 1.2  # paper: 0.94x
+
+    def test_cpu_more_energy_efficient_than_gpu(self, workload):
+        gpu = GpuModel().run(workload, 50)
+        cpu = CpuModel().run(workload, 50)
+        ratio = gpu.energy_joules / cpu.energy_joules
+        assert 1.3 < ratio < 2.5  # paper: ~1.7-1.8x
+
+    def test_gpu_uses_most_power(self, workload):
+        gpu = GpuModel().run(workload, 50)
+        cpu = CpuModel().run(workload, 50)
+        assert gpu.power_w > cpu.power_w

@@ -1,0 +1,75 @@
+"""Tests for nominal workload construction and the efficiency metric."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import EfficiencyRow, efficiency_ratio
+from repro.eval.workload import batch_word_counts, nominal_ops
+from repro.hw.opcounts import OpCounter
+
+
+class TestBatchWordCounts:
+    def test_counts_match_encoding(self, task1_system):
+        batch = task1_system["test_batch"]
+        counts = batch_word_counts(batch)
+        assert len(counts) == len(batch)
+        words, q_words = counts[0]
+        assert len(words) == int(batch.story_lengths[0])
+        assert q_words == int((batch.questions[0] != 0).sum())
+        assert all(w >= 1 for w in words)
+
+    def test_pad_rows_excluded(self, task1_system):
+        batch = task1_system["test_batch"]
+        for (words, _q), length in zip(
+            batch_word_counts(batch), batch.story_lengths
+        ):
+            assert len(words) == int(length)
+
+
+class TestNominalOps:
+    def test_manual_aggregation_matches(self, task1_system):
+        batch = task1_system["test_batch"].subset(np.arange(4))
+        embed = task1_system["weights"].config.embed_dim
+        hops = task1_system["weights"].config.hops
+        vocab = task1_system["weights"].config.vocab_size
+        total = nominal_ops(batch, embed, hops, vocab)
+        counter = OpCounter(embed)
+        manual = None
+        for words, q_words in batch_word_counts(batch):
+            ops = counter.example(words, q_words, hops, vocab)
+            manual = ops if manual is None else manual + ops
+        assert total.flops == manual.flops
+        assert total.kernel_launches == manual.kernel_launches
+
+    def test_full_scan_assumed(self, task1_system):
+        """Nominal counts always include the full |I| output scan."""
+        batch = task1_system["test_batch"].subset(np.arange(2))
+        embed = task1_system["weights"].config.embed_dim
+        vocab = task1_system["weights"].config.vocab_size
+        small = nominal_ops(batch, embed, 1, 10)
+        full = nominal_ops(batch, embed, 1, vocab)
+        assert full.compares - small.compares == 2 * (vocab - 10)
+
+
+class TestEfficiencyRatio:
+    def test_matches_paper_arithmetic(self):
+        """5.21x speedup and 16.1x energy ratio give ~83.9x (Table I)."""
+        gpu_seconds, gpu_energy = 226.90, 226.90 * 45.36
+        fpga_seconds = gpu_seconds / 5.21
+        fpga_energy = gpu_energy / 16.08
+        ratio = efficiency_ratio(
+            fpga_seconds, fpga_energy, gpu_seconds, gpu_energy
+        )
+        assert ratio == pytest.approx(5.21 * 16.08, rel=1e-6)
+
+    def test_identity_for_gpu_itself(self):
+        assert efficiency_ratio(2.0, 90.0, 2.0, 90.0) == pytest.approx(1.0)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            efficiency_ratio(0.0, 1.0, 1.0, 1.0)
+
+    def test_row_properties(self):
+        row = EfficiencyRow("X", seconds=2.0, power_w=10.0, flops=100.0)
+        assert row.energy_joules == pytest.approx(20.0)
+        assert row.flops_rate == pytest.approx(50.0)

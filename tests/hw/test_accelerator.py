@@ -1,0 +1,182 @@
+"""Co-simulation tests of the full accelerator against the golden engine."""
+
+import numpy as np
+import pytest
+
+from repro.hw import HwConfig, MannAccelerator
+from repro.hw.timing import CycleModel
+from repro.mips import ExactMips
+
+
+@pytest.fixture(scope="module")
+def configs(request):
+    return {
+        "plain": HwConfig(frequency_mhz=25.0),
+        "ith": HwConfig(frequency_mhz=25.0).with_ith(True, rho=1.0),
+    }
+
+
+def _accelerator(system, config):
+    cfg = config.with_embed_dim(system["weights"].config.embed_dim)
+    return MannAccelerator(system["weights"], cfg, system["threshold_model"])
+
+
+class TestFunctionalCoSimulation:
+    def test_predictions_bit_exact_with_golden(self, task1_system, configs):
+        accelerator = _accelerator(task1_system, configs["plain"])
+        batch = task1_system["test_batch"]
+        report = accelerator.run(batch)
+        golden = task1_system["engine"].predict(
+            batch.stories, batch.questions, batch.story_lengths
+        )
+        assert np.array_equal(report.predictions, golden)
+
+    def test_accuracy_reported(self, task1_system, configs):
+        accelerator = _accelerator(task1_system, configs["plain"])
+        report = accelerator.run(task1_system["test_batch"])
+        batch = task1_system["test_batch"]
+        assert report.accuracy == pytest.approx(
+            float((report.predictions == batch.answers).mean())
+        )
+
+    def test_ith_matches_software_mips(self, task1_system, configs):
+        """Accelerator + ITH must equal the software ITH engine exactly."""
+        from repro.mips import InferenceThresholding
+
+        accelerator = _accelerator(task1_system, configs["ith"])
+        batch = task1_system["test_batch"]
+        report = accelerator.run(batch)
+        sw = InferenceThresholding(
+            task1_system["weights"].w_o,
+            task1_system["threshold_model"],
+            rho=1.0,
+        )
+        engine = task1_system["engine"]
+        for i in range(len(batch)):
+            h = engine.forward_trace(
+                batch.stories[i], batch.questions[i], int(batch.story_lengths[i])
+            ).h_final
+            assert report.predictions[i] == sw.search(h).label
+
+    def test_mem_module_values_match_trace(self, task1_system, configs):
+        """MEM rows after a run equal the golden trace memories."""
+        accelerator = _accelerator(task1_system, configs["plain"])
+        batch = task1_system["test_batch"].subset(np.array([0]))
+        env_report = accelerator.run(batch)
+        assert env_report.total_cycles > 0
+        trace = task1_system["engine"].forward_trace(
+            batch.stories[0], batch.questions[0], int(batch.story_lengths[0])
+        )
+        # Re-run one example with a fresh pipeline to inspect MEM.
+        from repro.hw.kernel import Environment
+
+        env = Environment()
+        fifo_in, fifo_out, control, iw, mem, read, output = (
+            accelerator._build_pipeline(env)
+        )
+        accelerator.run_example(
+            env, fifo_in, fifo_out, mem,
+            batch.stories[0], batch.questions[0], int(batch.story_lengths[0]),
+        )
+        n = int(batch.story_lengths[0])
+        assert np.array_equal(mem.mem_a[:n], trace.mem_a)
+        assert np.array_equal(mem.mem_c[:n], trace.mem_c)
+        # READ module recorded the same keys and attention values.
+        for k_hw, k_gold in zip(read.trace_keys, trace.keys):
+            assert np.array_equal(k_hw, k_gold)
+        for msg, att in zip(read.trace_reads, trace.attentions):
+            assert np.array_equal(msg.attention, att)
+
+
+class TestTimingEquivalence:
+    def test_event_sim_equals_analytic_model(self, task1_system, configs):
+        """The discrete-event cycles equal the closed-form model exactly."""
+        for key in ("plain", "ith"):
+            accelerator = _accelerator(task1_system, configs[key])
+            report = accelerator.run(task1_system["test_batch"], keep_examples=True)
+            for example in report.examples:
+                assert example.cycles == example.phases.total
+
+    def test_total_cycles_sum_of_examples(self, task1_system, configs):
+        accelerator = _accelerator(task1_system, configs["plain"])
+        report = accelerator.run(task1_system["test_batch"], keep_examples=True)
+        assert report.total_cycles == sum(e.cycles for e in report.examples)
+
+    def test_ith_reduces_cycles(self, task1_system, configs):
+        plain = _accelerator(task1_system, configs["plain"]).run(
+            task1_system["test_batch"]
+        )
+        ith = _accelerator(task1_system, configs["ith"]).run(
+            task1_system["test_batch"]
+        )
+        assert ith.total_cycles < plain.total_cycles
+        assert ith.mean_comparisons < plain.mean_comparisons
+        assert ith.early_exit_rate > 0
+
+    def test_frequency_scales_compute_not_interface(self, task1_system):
+        batch = task1_system["test_batch"]
+        r25 = _accelerator(task1_system, HwConfig(frequency_mhz=25.0)).run(batch)
+        r100 = _accelerator(task1_system, HwConfig(frequency_mhz=100.0)).run(batch)
+        assert r25.total_cycles == r100.total_cycles
+        assert r25.interface_seconds == pytest.approx(r100.interface_seconds)
+        assert r25.compute_seconds == pytest.approx(4 * r100.compute_seconds)
+        assert r25.wall_seconds > r100.wall_seconds
+        # Sub-linear: 4x clock gives less than 4x total speedup.
+        assert r25.wall_seconds / r100.wall_seconds < 4.0
+
+    def test_module_busy_cycles_reported(self, task1_system, configs):
+        report = _accelerator(task1_system, configs["plain"]).run(
+            task1_system["test_batch"]
+        )
+        for name in ("CONTROL", "INPUT&WRITE", "MEM", "READ", "OUTPUT"):
+            assert report.module_busy_cycles[name] > 0
+
+
+class TestEnergyAccounting:
+    def test_power_in_plausible_band(self, task1_system):
+        """Paper band: ~14-21 W across 25-100 MHz."""
+        batch = task1_system["test_batch"]
+        p25 = _accelerator(task1_system, HwConfig(frequency_mhz=25.0)).run(batch)
+        p100 = _accelerator(task1_system, HwConfig(frequency_mhz=100.0)).run(batch)
+        assert 13.0 < p25.average_power_w < 17.0
+        assert 18.0 < p100.average_power_w < 23.0
+        assert p100.average_power_w > p25.average_power_w
+
+    def test_energy_breakdown_sums(self, task1_system, configs):
+        report = _accelerator(task1_system, configs["plain"]).run(
+            task1_system["test_batch"]
+        )
+        e = report.energy
+        assert e.total == pytest.approx(e.switching + e.interface + e.floor)
+        assert e.floor > 0 and e.interface > 0 and e.switching > 0
+
+    def test_flops_per_kilojoule_positive(self, task1_system, configs):
+        report = _accelerator(task1_system, configs["plain"]).run(
+            task1_system["test_batch"]
+        )
+        assert report.flops_per_kilojoule() > 0
+        assert report.flops == report.ops.flops
+
+
+class TestConfigValidation:
+    def test_embed_dim_mismatch_rejected(self, task1_system):
+        bad = HwConfig().with_embed_dim(
+            task1_system["weights"].config.embed_dim + 1
+        )
+        with pytest.raises(ValueError):
+            MannAccelerator(task1_system["weights"], bad)
+
+    def test_ith_requires_threshold_model(self, task1_system):
+        cfg = HwConfig().with_embed_dim(
+            task1_system["weights"].config.embed_dim
+        ).with_ith(True)
+        with pytest.raises(ValueError):
+            MannAccelerator(task1_system["weights"], cfg, threshold_model=None)
+
+    def test_model_transfer_optional(self, task1_system, configs):
+        accelerator = _accelerator(task1_system, configs["plain"])
+        with_model = accelerator.run(task1_system["test_batch"])
+        without = accelerator.run(
+            task1_system["test_batch"], include_model_transfer=False
+        )
+        assert without.interface_seconds < with_model.interface_seconds

@@ -1,0 +1,174 @@
+"""Edge-case and failure-injection tests for the hardware stack."""
+
+import numpy as np
+import pytest
+
+from repro.babi.dataset import EncodedBatch
+from repro.hw import HwConfig, MannAccelerator
+from repro.hw.kernel import Environment
+from repro.mann import MannConfig, MemoryNetwork
+
+
+def _weights(vocab=8, embed=4, memory=3, hops=1, seed=0):
+    return MemoryNetwork(
+        MannConfig(
+            vocab_size=vocab,
+            embed_dim=embed,
+            memory_size=memory,
+            hops=hops,
+            seed=seed,
+        )
+    ).export_weights()
+
+
+def _single_example_batch(vocab=8, memory=3, words=3):
+    stories = np.zeros((1, memory, words), dtype=np.int64)
+    stories[0, 0] = [1, 2, 3]
+    questions = np.array([[2, 1, 0]], dtype=np.int64)
+    answers = np.array([3], dtype=np.int64)
+    lengths = np.array([1], dtype=np.int64)
+    return EncodedBatch(stories, questions, answers, lengths)
+
+
+class TestMinimalConfigurations:
+    def test_single_sentence_single_hop(self):
+        weights = _weights(hops=1)
+        config = HwConfig(frequency_mhz=25.0).with_embed_dim(4)
+        report = MannAccelerator(weights, config).run(_single_example_batch())
+        assert report.total_cycles > 0
+        assert len(report.predictions) == 1
+
+    def test_memory_size_one(self):
+        weights = _weights(memory=1)
+        config = HwConfig().with_embed_dim(4)
+        batch = _single_example_batch(memory=1)
+        report = MannAccelerator(weights, config).run(batch)
+        assert report.total_cycles > 0
+
+    def test_embed_dim_one(self):
+        weights = _weights(embed=1)
+        config = HwConfig().with_embed_dim(1)
+        report = MannAccelerator(weights, config).run(_single_example_batch())
+        assert len(report.predictions) == 1
+
+    def test_vocab_two(self):
+        weights = _weights(vocab=4)
+        config = HwConfig().with_embed_dim(4)
+        batch = _single_example_batch(vocab=4)
+        report = MannAccelerator(weights, config).run(batch)
+        assert 0 <= report.predictions[0] < 4
+
+    def test_many_hops(self):
+        weights = _weights(hops=8)
+        config = HwConfig().with_embed_dim(4)
+        report = MannAccelerator(weights, config).run(_single_example_batch())
+        single_hop = MannAccelerator(_weights(hops=1), config).run(
+            _single_example_batch()
+        )
+        assert report.total_cycles > single_hop.total_cycles
+
+    def test_empty_question_tolerated(self):
+        """All-pad question embeds to the zero key without crashing."""
+        weights = _weights()
+        config = HwConfig().with_embed_dim(4)
+        batch = _single_example_batch()
+        batch.questions[...] = 0
+        report = MannAccelerator(weights, config).run(batch)
+        assert len(report.predictions) == 1
+
+
+class TestKernelFailureModes:
+    def test_exception_in_process_propagates(self):
+        env = Environment()
+
+        def broken():
+            yield env.timeout(1)
+            raise RuntimeError("module fault")
+
+        env.process(broken())
+        with pytest.raises(RuntimeError, match="module fault"):
+            env.run()
+
+    def test_run_with_empty_queue_returns_now(self):
+        env = Environment()
+        assert env.run() == 0
+
+    def test_stale_until_does_not_rewind(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(10)
+
+        env.process(proc())
+        env.run()
+        assert env.run(until=5) == 10  # queue empty; clock keeps its value
+
+
+class TestModuleProtocolErrors:
+    def test_wrong_message_type_raises(self):
+        from repro.hw.fifo import Fifo
+        from repro.hw.latency import LatencyParams
+        from repro.hw.modules.control import ControlModule
+
+        env = Environment()
+        lat = LatencyParams(embed_dim=4)
+        fifo_in = Fifo(env, 4)
+        fifo_out = Fifo(env, 4)
+        control = ControlModule(
+            env, lat, fifo_in, fifo_out, Fifo(env, 4), Fifo(env, 4), Fifo(env, 4)
+        )
+
+        def host():
+            yield fifo_in.put("garbage")
+
+        env.process(host())
+        with pytest.raises(TypeError, match="StartExampleMsg"):
+            env.run()
+
+    def test_mem_slot_out_of_range(self):
+        from repro.hw.fifo import Fifo
+        from repro.hw.latency import LatencyParams
+        from repro.hw.modules.mem import MemModule
+        from repro.hw.modules.messages import MemoryRowMsg
+
+        env = Environment()
+        lat = LatencyParams(embed_dim=4)
+        from_write = Fifo(env, 2)
+        mem = MemModule(env, lat, 2, from_write, Fifo(env, 2), Fifo(env, 2))
+
+        def writer():
+            yield from_write.put(
+                MemoryRowMsg(slot=5, row_a=np.zeros(4), row_c=np.zeros(4))
+            )
+
+        env.process(writer())
+        with pytest.raises(IndexError):
+            env.run()
+        assert mem.rows_valid == 0
+
+
+class TestReportInvariants:
+    def test_ops_scale_with_examples(self, task1_system):
+        config = HwConfig().with_embed_dim(
+            task1_system["weights"].config.embed_dim
+        )
+        accelerator = MannAccelerator(task1_system["weights"], config)
+        batch = task1_system["test_batch"]
+        one = accelerator.run(batch.subset(np.arange(5)))
+        two = accelerator.run(batch.subset(np.arange(10)))
+        assert two.ops.flops > one.ops.flops
+        assert two.total_cycles > one.total_cycles
+
+    def test_wall_time_identity(self, task1_system):
+        config = HwConfig().with_embed_dim(
+            task1_system["weights"].config.embed_dim
+        )
+        report = MannAccelerator(task1_system["weights"], config).run(
+            task1_system["test_batch"]
+        )
+        assert report.wall_seconds == pytest.approx(
+            report.interface_seconds + report.compute_seconds
+        )
+        assert report.energy.total == pytest.approx(
+            report.average_power_w * report.wall_seconds
+        )

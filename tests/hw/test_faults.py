@@ -1,0 +1,114 @@
+"""Tests for SEU fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.hw.faults import (
+    flip_bits_in_codes,
+    inject_weight_faults,
+    seu_sensitivity_sweep,
+)
+from repro.mann import InferenceEngine
+from repro.mann.quantize import QFormat
+
+
+class TestFlipBits:
+    def test_zero_flips_identity(self, rng):
+        codes = rng.integers(-100, 100, size=(5, 5))
+        out = flip_bits_in_codes(codes, 0, 16, rng)
+        assert np.array_equal(out, codes)
+
+    def test_single_flip_changes_one_element(self, rng):
+        codes = np.zeros((10,), dtype=np.int64)
+        out = flip_bits_in_codes(codes, 1, 8, np.random.default_rng(0))
+        assert (out != codes).sum() == 1
+
+    def test_flip_is_involution(self):
+        """Flipping the same (element, bit) twice restores the code."""
+        codes = np.array([37], dtype=np.int64)
+        class FixedRng:
+            def __init__(self):
+                self.calls = 0
+            def integers(self, low, high, size=None):
+                return np.zeros(size, dtype=np.int64)
+        out = flip_bits_in_codes(codes, 2, 8, FixedRng())
+        assert np.array_equal(out, codes)
+
+    def test_values_stay_in_word_range(self, rng):
+        q = QFormat(3, 4)
+        codes = rng.integers(-100, 100, size=(50,))
+        out = flip_bits_in_codes(codes, 200, q.total_bits, rng)
+        values = q.from_integers(out)
+        assert values.max() <= q.max_value + 1e-9
+        assert values.min() >= q.min_value - 1e-9
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            flip_bits_in_codes(np.zeros(3, dtype=int), -1, 8, rng)
+        with pytest.raises(ValueError):
+            flip_bits_in_codes(np.zeros(3, dtype=int), 1, 0, rng)
+
+
+class TestInjectWeightFaults:
+    def test_zero_rate_equals_quantized(self, task1_system):
+        from repro.mann.quantize import quantize_weights
+
+        q = QFormat(3, 12)
+        injected = inject_weight_faults(task1_system["weights"], q, 0.0)
+        quantized, _ = quantize_weights(task1_system["weights"], q)
+        assert injected.n_flips == 0
+        assert np.allclose(injected.weights.w_o, quantized.w_o)
+
+    def test_rate_validated(self, task1_system):
+        with pytest.raises(ValueError):
+            inject_weight_faults(task1_system["weights"], QFormat(3, 8), 1.5)
+
+    def test_flip_count_scales_with_rate(self, task1_system):
+        q = QFormat(3, 12)
+        low = inject_weight_faults(task1_system["weights"], q, 1e-4, seed=1)
+        high = inject_weight_faults(task1_system["weights"], q, 1e-2, seed=1)
+        assert high.n_flips > low.n_flips
+        assert 0 <= low.bit_error_rate <= 1
+
+    def test_deterministic_for_seed(self, task1_system):
+        q = QFormat(3, 8)
+        a = inject_weight_faults(task1_system["weights"], q, 1e-3, seed=7)
+        b = inject_weight_faults(task1_system["weights"], q, 1e-3, seed=7)
+        assert np.array_equal(a.weights.w_o, b.weights.w_o)
+
+    def test_original_untouched(self, task1_system):
+        before = task1_system["weights"].w_o.copy()
+        inject_weight_faults(task1_system["weights"], QFormat(3, 8), 0.01)
+        assert np.array_equal(task1_system["weights"].w_o, before)
+
+
+class TestSeuSweep:
+    def test_accuracy_degrades_with_rate(self, task1_system):
+        batch = task1_system["test_batch"]
+
+        def evaluate(weights):
+            return InferenceEngine(weights).accuracy(
+                batch.stories, batch.questions, batch.answers, batch.story_lengths
+            )
+
+        sweep = seu_sensitivity_sweep(
+            task1_system["weights"],
+            evaluate,
+            bit_error_rates=(0.0, 0.05),
+            trials=2,
+        )
+        clean_accuracy = sweep[0][1]
+        heavy_accuracy = sweep[1][1]
+        assert clean_accuracy > 0.5
+        assert heavy_accuracy < clean_accuracy
+
+    def test_rates_and_flips_reported(self, task1_system):
+        evaluate = lambda w: 1.0  # noqa: E731
+        sweep = seu_sensitivity_sweep(
+            task1_system["weights"],
+            evaluate,
+            bit_error_rates=(0.0, 1e-3),
+            trials=1,
+        )
+        assert sweep[0][0] == 0.0 and sweep[0][2] == 0.0
+        assert sweep[1][2] > 0.0

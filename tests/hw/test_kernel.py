@@ -1,0 +1,137 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.hw.kernel import Environment
+
+
+class TestTimeouts:
+    def test_timeout_advances_clock(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(5)
+            yield env.timeout(3)
+
+        env.process(proc())
+        assert env.run() == 8
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_zero_delay_allowed(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(0)
+
+        env.process(proc())
+        assert env.run() == 0
+
+    def test_run_until_stops_early(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(100)
+
+        env.process(proc())
+        assert env.run(until=10) == 10
+
+
+class TestProcesses:
+    def test_parallel_processes_interleave(self):
+        env = Environment()
+        log = []
+
+        def worker(name, delay):
+            yield env.timeout(delay)
+            log.append((env.now, name))
+
+        env.process(worker("fast", 2))
+        env.process(worker("slow", 7))
+        env.run()
+        assert log == [(2, "fast"), (7, "slow")]
+
+    def test_process_join(self):
+        env = Environment()
+        order = []
+
+        def child():
+            yield env.timeout(4)
+            order.append("child")
+            return 42
+
+        def parent():
+            value = yield env.process(child())
+            order.append(f"parent got {value}")
+
+        env.process(parent())
+        env.run()
+        assert order == ["child", "parent got 42"]
+
+    def test_yield_non_event_rejected(self):
+        env = Environment()
+
+        def bad():
+            yield 5
+
+        env.process(bad())
+        with pytest.raises(TypeError):
+            env.run()
+
+    def test_fifo_ordering_same_timestamp(self):
+        """Events scheduled for the same cycle run in schedule order."""
+        env = Environment()
+        log = []
+
+        def worker(tag):
+            yield env.timeout(3)
+            log.append(tag)
+
+        for tag in ("a", "b", "c"):
+            env.process(worker(tag))
+        env.run()
+        assert log == ["a", "b", "c"]
+
+
+class TestManualEvents:
+    def test_trigger_wakes_waiter(self):
+        env = Environment()
+        gate = env.event()
+        log = []
+
+        def waiter():
+            value = yield gate
+            log.append((env.now, value))
+
+        def opener():
+            yield env.timeout(6)
+            gate.trigger("open")
+
+        env.process(waiter())
+        env.process(opener())
+        env.run()
+        assert log == [(6, "open")]
+
+    def test_double_trigger_rejected(self):
+        env = Environment()
+        e = env.event()
+        e.trigger()
+        with pytest.raises(RuntimeError):
+            e.trigger()
+
+    def test_wait_on_already_triggered(self):
+        env = Environment()
+        e = env.event()
+        e.trigger("v")
+        got = []
+
+        def waiter():
+            value = yield e
+            got.append(value)
+
+        env.process(waiter())
+        env.run()
+        assert got == ["v"]

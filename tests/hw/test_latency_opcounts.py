@@ -1,0 +1,108 @@
+"""Tests for cycle-latency formulas and operation counting."""
+
+import pytest
+
+from repro.hw.latency import LatencyParams, adder_tree_depth
+from repro.hw.opcounts import ExampleOpCounts, OpCounter
+
+
+class TestAdderTree:
+    def test_depths(self):
+        assert adder_tree_depth(1) == 1
+        assert adder_tree_depth(2) == 1
+        assert adder_tree_depth(4) == 2
+        assert adder_tree_depth(20) == 5
+        assert adder_tree_depth(64) == 6
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            adder_tree_depth(0)
+
+
+class TestLatencyParams:
+    @pytest.fixture()
+    def lat(self):
+        return LatencyParams(embed_dim=20)
+
+    def test_embed_sentence_scales_with_words(self, lat):
+        assert lat.embed_sentence_cycles(6) - lat.embed_sentence_cycles(5) == 1
+
+    def test_embed_sentence_floor_one_word(self, lat):
+        assert lat.embed_sentence_cycles(0) == lat.embed_sentence_cycles(1)
+
+    def test_addressing_scales_with_slots(self, lat):
+        # Streaming pipeline: +1 score cycle and +1 divide cycle per slot.
+        assert lat.addressing_cycles(9) - lat.addressing_cycles(8) == 2
+
+    def test_addressing_includes_exp_div(self, lat):
+        cheap = LatencyParams(embed_dim=20, exp_latency=0, div_latency=0)
+        assert lat.addressing_cycles(5) - cheap.addressing_cycles(5) == (
+            lat.exp_latency + lat.div_latency
+        )
+
+    def test_controller_scales_with_embed_dim(self):
+        small = LatencyParams(embed_dim=8)
+        large = LatencyParams(embed_dim=32)
+        assert large.controller_cycles() > small.controller_cycles()
+
+    def test_output_scan_one_row_per_cycle(self, lat):
+        assert lat.output_scan_cycles(100) - lat.output_scan_cycles(99) == 1
+
+    def test_tree_depth_property(self, lat):
+        assert lat.tree_depth == adder_tree_depth(20)
+
+
+class TestOpCounter:
+    def test_embed_dim_validated(self):
+        with pytest.raises(ValueError):
+            OpCounter(0)
+
+    def test_write_sentence_counts(self):
+        counter = OpCounter(embed_dim=10)
+        ops = counter.write_sentence(4)
+        # 2 embeddings (a, c) of 4 columns + 2 temporal adds.
+        assert ops.adds == 2 * 4 * 10 + 2 * 10
+        assert ops.sram_reads == 2 * 4 * 10
+        assert ops.sram_writes == 2 * 10
+        assert ops.stream_words_in == 4
+
+    def test_hop_counts(self):
+        counter = OpCounter(embed_dim=10)
+        ops = counter.hop(5)
+        assert ops.exps == 5
+        assert ops.divs == 5
+        assert ops.mults == 5 * 10 + 5 * 10 + 10 * 10
+
+    def test_output_scan_counts(self):
+        counter = OpCounter(embed_dim=10)
+        ops = counter.output_scan(30)
+        assert ops.mults == 300
+        assert ops.compares == 30
+        assert ops.stream_words_out == 1
+
+    def test_example_aggregation(self):
+        counter = OpCounter(embed_dim=4)
+        ops = counter.example([3, 2], 2, hops=2, output_visited=7)
+        manual = (
+            counter.write_sentence(3)
+            + counter.write_sentence(2)
+            + counter.embed_question(2)
+            + counter.hop(2)
+            + counter.hop(2)
+            + counter.output_scan(7)
+        )
+        assert ops.flops == manual.flops
+        assert ops.compares == manual.compares
+
+    def test_flops_property(self):
+        ops = ExampleOpCounts(mults=3, adds=4, exps=1, divs=2, compares=5)
+        assert ops.flops == 10
+        assert ops.total_ops == 15
+
+    def test_add_operator(self):
+        a = ExampleOpCounts(mults=1, stream_words_in=2)
+        b = ExampleOpCounts(mults=4, kernel_launches=3)
+        c = a + b
+        assert c.mults == 5
+        assert c.stream_words_in == 2
+        assert c.kernel_launches == 3

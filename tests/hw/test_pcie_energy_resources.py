@@ -1,0 +1,152 @@
+"""Tests for the host interface, energy model and resource estimates."""
+
+import pytest
+
+from repro.hw.calibration import DEFAULT_CALIBRATION
+from repro.hw.config import HwConfig
+from repro.hw.energy import EnergyModel
+from repro.hw.opcounts import ExampleOpCounts
+from repro.hw.pcie import HostInterface, TransferStats
+from repro.hw.resources import estimate_resources
+from repro.mann.config import MannConfig
+
+
+class TestHostInterface:
+    @pytest.fixture()
+    def host(self):
+        return HostInterface(DEFAULT_CALIBRATION)
+
+    def test_transfer_time_components(self, host):
+        c = DEFAULT_CALIBRATION
+        t = host.transfer_time(1000, 2)
+        assert t == pytest.approx(
+            1000 / c.pcie_bandwidth + 2 * c.pcie_transaction_latency
+        )
+
+    def test_negative_sizes_rejected(self, host):
+        with pytest.raises(ValueError):
+            host.transfer_time(-1)
+
+    def test_example_transfer_two_transactions(self, host):
+        stats = host.example_transfer(50, 1)
+        assert stats.transactions == 2
+        assert stats.bytes_in == 50 * 4
+        assert stats.bytes_out == 4
+        assert stats.seconds > 2 * DEFAULT_CALIBRATION.pcie_transaction_latency * 0.99
+
+    def test_model_transfer_uses_bulk_bandwidth(self, host):
+        stats = host.model_transfer(10_000_000)
+        c = DEFAULT_CALIBRATION
+        slow = 10_000_000 / c.pcie_bandwidth
+        assert stats.seconds < slow  # bulk DMA is much faster
+
+    def test_latency_dominates_small_transfers(self, host):
+        """The per-message cost exceeds the byte cost for tiny streams —
+        the mechanism behind the paper's frequency-independent bound."""
+        stats = host.example_transfer(20, 1)
+        c = DEFAULT_CALIBRATION
+        byte_time = (stats.bytes_in + stats.bytes_out) / c.pcie_bandwidth
+        assert 2 * c.pcie_transaction_latency > 10 * byte_time
+
+    def test_stats_addition(self):
+        a = TransferStats(1, 2, 3, 4.0, 5.0)
+        b = TransferStats(10, 20, 30, 40.0, 50.0)
+        c = a + b
+        assert (c.bytes_in, c.bytes_out, c.transactions) == (11, 22, 33)
+        assert c.seconds == 44.0 and c.energy_joules == 55.0
+
+
+class TestEnergyModel:
+    @pytest.fixture()
+    def model(self):
+        return EnergyModel(DEFAULT_CALIBRATION)
+
+    def test_switching_energy_linear_in_ops(self, model):
+        one = model.switching_energy(ExampleOpCounts(mults=100))
+        two = model.switching_energy(ExampleOpCounts(mults=200))
+        assert two == pytest.approx(2 * one)
+
+    def test_all_op_kinds_contribute(self, model):
+        base = model.switching_energy(ExampleOpCounts())
+        assert base == 0.0
+        for field in ("mults", "adds", "exps", "divs", "compares",
+                      "sram_reads", "sram_writes"):
+            ops = ExampleOpCounts(**{field: 10})
+            assert model.switching_energy(ops) > 0.0, field
+
+    def test_floor_scales_with_time_and_frequency(self, model):
+        ops = ExampleOpCounts(mults=10)
+        e1 = model.run_energy(ops, 0.0, 1.0, 25.0)
+        e2 = model.run_energy(ops, 0.0, 2.0, 25.0)
+        e3 = model.run_energy(ops, 0.0, 1.0, 100.0)
+        assert e2.floor == pytest.approx(2 * e1.floor)
+        assert e3.floor > e1.floor
+
+    def test_average_power_requires_positive_time(self, model):
+        e = model.run_energy(ExampleOpCounts(), 0.0, 1.0, 25.0)
+        with pytest.raises(ValueError):
+            e.average_power(0.0)
+
+    def test_power_floor_matches_calibration(self):
+        c = DEFAULT_CALIBRATION
+        assert c.fpga_power_floor(25.0) == pytest.approx(
+            c.fpga_static_power + 25.0 * c.fpga_clock_power_per_mhz
+        )
+
+
+class TestResources:
+    def test_design_fits_vcu107(self):
+        estimate = estimate_resources(
+            HwConfig(), MannConfig(vocab_size=200, embed_dim=20, memory_size=20)
+        )
+        assert estimate.fits()
+        util = estimate.utilisation()
+        assert all(0.0 < v < 1.0 for v in util.values())
+
+    def test_scales_with_embed_dim(self):
+        small = estimate_resources(
+            HwConfig().with_embed_dim(8),
+            MannConfig(vocab_size=100, embed_dim=8, memory_size=10),
+        )
+        large = estimate_resources(
+            HwConfig().with_embed_dim(64),
+            MannConfig(vocab_size=100, embed_dim=64, memory_size=10),
+        )
+        assert large.luts > small.luts
+        assert large.dsps > small.dsps
+
+    def test_bram_scales_with_vocab(self):
+        small = estimate_resources(
+            HwConfig(), MannConfig(vocab_size=50, embed_dim=20, memory_size=10)
+        )
+        large = estimate_resources(
+            HwConfig(), MannConfig(vocab_size=5000, embed_dim=20, memory_size=10)
+        )
+        assert large.bram_kb > small.bram_kb
+
+
+class TestHwConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HwConfig(frequency_mhz=0)
+        with pytest.raises(ValueError):
+            HwConfig(fifo_depth=0)
+        with pytest.raises(ValueError):
+            HwConfig(ith_rho=0.0)
+
+    def test_cycle_time(self):
+        assert HwConfig(frequency_mhz=100.0).cycle_time_s == pytest.approx(1e-8)
+
+    def test_with_frequency_copies(self):
+        base = HwConfig(frequency_mhz=25.0)
+        other = base.with_frequency(75.0)
+        assert base.frequency_mhz == 25.0
+        assert other.frequency_mhz == 75.0
+
+    def test_with_ith(self):
+        cfg = HwConfig().with_ith(True, rho=0.9, index_ordering=False)
+        assert cfg.ith_enabled and cfg.ith_rho == 0.9
+        assert not cfg.ith_index_ordering
+
+    def test_with_embed_dim(self):
+        assert HwConfig().with_embed_dim(32).latency.embed_dim == 32

@@ -1,0 +1,129 @@
+"""Hypothesis property tests: the event-driven simulation must equal the
+analytic timing model for arbitrary story shapes and unit latencies, and
+the dataflow must stay deadlock-free at minimal FIFO depths."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import HwConfig, MannAccelerator
+from repro.hw.latency import LatencyParams
+from repro.mann import MannConfig, MemoryNetwork
+
+
+def _build_weights(vocab: int, embed: int, memory: int, hops: int, seed: int):
+    config = MannConfig(
+        vocab_size=vocab,
+        embed_dim=embed,
+        memory_size=memory,
+        hops=hops,
+        seed=seed,
+    )
+    return MemoryNetwork(config).export_weights()
+
+
+def _random_batch(rng, vocab, memory, words, n_examples):
+    from repro.babi.dataset import EncodedBatch
+
+    stories = np.zeros((n_examples, memory, words), dtype=np.int64)
+    questions = np.zeros((n_examples, words), dtype=np.int64)
+    lengths = np.zeros(n_examples, dtype=np.int64)
+    for i in range(n_examples):
+        n = int(rng.integers(1, memory + 1))
+        lengths[i] = n
+        for s in range(n):
+            w = int(rng.integers(1, words + 1))
+            stories[i, s, :w] = rng.integers(1, vocab, size=w)
+        qw = int(rng.integers(1, words + 1))
+        questions[i, :qw] = rng.integers(1, vocab, size=qw)
+    answers = rng.integers(0, vocab, size=n_examples)
+    return EncodedBatch(stories, questions, answers, lengths)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=9999),
+    embed=st.integers(min_value=2, max_value=24),
+    memory=st.integers(min_value=1, max_value=8),
+    hops=st.integers(min_value=1, max_value=4),
+    exp_latency=st.integers(min_value=0, max_value=20),
+    div_latency=st.integers(min_value=0, max_value=30),
+)
+def test_event_sim_equals_analytic_for_any_shape(
+    seed, embed, memory, hops, exp_latency, div_latency
+):
+    rng = np.random.default_rng(seed)
+    vocab = int(rng.integers(5, 40))
+    weights = _build_weights(vocab, embed, memory, hops, seed)
+    latency = LatencyParams(
+        embed_dim=embed, exp_latency=exp_latency, div_latency=div_latency
+    )
+    config = HwConfig(frequency_mhz=50.0, latency=latency)
+    batch = _random_batch(rng, vocab, memory, words=5, n_examples=3)
+    accelerator = MannAccelerator(weights, config)
+    report = accelerator.run(batch, keep_examples=True)
+    for example in report.examples:
+        assert example.cycles == example.phases.total
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=9999),
+    fifo_depth=st.integers(min_value=1, max_value=4),
+)
+def test_no_deadlock_at_minimal_fifo_depth(seed, fifo_depth):
+    """Backpressure at depth 1 must still drain every example."""
+    rng = np.random.default_rng(seed)
+    weights = _build_weights(vocab=12, embed=4, memory=6, hops=2, seed=seed)
+    config = HwConfig(frequency_mhz=50.0, fifo_depth=fifo_depth).with_embed_dim(4)
+    batch = _random_batch(rng, vocab=12, memory=6, words=4, n_examples=4)
+    report = MannAccelerator(weights, config).run(batch)
+    assert len(report.predictions) == 4
+    assert report.total_cycles > 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=9999))
+def test_predictions_invariant_to_fifo_depth_and_frequency(seed):
+    """Functional results must not depend on microarchitectural knobs."""
+    rng = np.random.default_rng(seed)
+    weights = _build_weights(vocab=15, embed=6, memory=5, hops=2, seed=seed)
+    batch = _random_batch(rng, vocab=15, memory=5, words=4, n_examples=3)
+    reference = None
+    for depth, mhz in ((1, 25.0), (8, 100.0), (32, 400.0)):
+        config = HwConfig(frequency_mhz=mhz, fifo_depth=depth).with_embed_dim(6)
+        report = MannAccelerator(weights, config).run(batch)
+        if reference is None:
+            reference = report.predictions
+        else:
+            assert np.array_equal(report.predictions, reference)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    words=st.lists(
+        st.integers(min_value=1, max_value=9), min_size=1, max_size=8
+    ),
+    question_words=st.integers(min_value=1, max_value=9),
+    hops=st.integers(min_value=1, max_value=4),
+    visited=st.integers(min_value=1, max_value=300),
+)
+def test_cycle_model_monotonicity(words, question_words, hops, visited):
+    """More work can never take fewer cycles."""
+    from repro.hw.timing import CycleModel
+
+    model = CycleModel(LatencyParams(embed_dim=8))
+    base = model.example_cycles(words, question_words, hops, visited).total
+    more_words = model.example_cycles(
+        words + [3], question_words, hops, visited
+    ).total
+    more_hops = model.example_cycles(
+        words, question_words, hops + 1, visited
+    ).total
+    more_visits = model.example_cycles(
+        words, question_words, hops, visited + 10
+    ).total
+    assert more_words > base
+    assert more_hops > base
+    assert more_visits > base

@@ -1,0 +1,74 @@
+"""Tests for the human-readable run reports."""
+
+import pytest
+
+from repro.hw import HwConfig, MannAccelerator
+from repro.hw.report import (
+    energy_table,
+    full_report,
+    module_utilisation_table,
+    phase_breakdown_table,
+    wall_time_table,
+)
+
+
+@pytest.fixture(scope="module")
+def report(task1_system):
+    config = HwConfig(frequency_mhz=25.0).with_embed_dim(
+        task1_system["weights"].config.embed_dim
+    )
+    accelerator = MannAccelerator(
+        task1_system["weights"], config, task1_system["threshold_model"]
+    )
+    return accelerator.run(task1_system["test_batch"])
+
+
+class TestPhaseBreakdown:
+    def test_shares_sum_to_total(self, report):
+        text = phase_breakdown_table(report).render()
+        assert "output scan" in text
+        assert str(report.phases.total) in text
+
+    def test_phase_totals_consistent(self, report):
+        phases = report.phases
+        assert phases.total == (
+            phases.control
+            + phases.write
+            + phases.question
+            + phases.hops
+            + phases.output
+        )
+        assert phases.total == report.total_cycles
+
+
+class TestModuleUtilisation:
+    def test_all_modules_listed(self, report):
+        text = module_utilisation_table(report).render()
+        for name in ("CONTROL", "INPUT&WRITE", "MEM", "READ", "OUTPUT"):
+            assert name in text
+
+
+class TestWallTime:
+    def test_interface_plus_compute(self, report):
+        text = wall_time_table(report).render()
+        assert "host interface" in text
+        assert "fabric compute" in text
+        assert report.wall_seconds == pytest.approx(
+            report.interface_seconds + report.compute_seconds
+        )
+
+
+class TestEnergyTable:
+    def test_sources_listed(self, report):
+        text = energy_table(report).render()
+        assert "datapath switching" in text
+        assert "static + clock floor" in text
+
+
+class TestFullReport:
+    def test_contains_all_sections(self, report):
+        text = full_report(report)
+        assert "Per-phase cycle breakdown" in text
+        assert "Module busy fractions" in text
+        assert "Wall time" in text
+        assert "Energy breakdown" in text

@@ -1,0 +1,132 @@
+"""Tests for the double-buffered streaming pipeline mode."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import HwConfig
+from repro.hw.streaming import (
+    StageCycles,
+    analytic_streaming_cycles,
+    run_streaming,
+    simulate_streaming,
+    stage_cycles_for_batch,
+)
+
+
+class TestStageCycles:
+    def test_bottleneck_and_total(self):
+        stage = StageCycles(10, 20, 15)
+        assert stage.bottleneck == 20
+        assert stage.sequential_total == 45
+
+
+class TestAnalyticVsSimulation:
+    def test_single_example_equals_sum(self):
+        stages = [StageCycles(5, 7, 11)]
+        assert analytic_streaming_cycles(stages) == 23
+        assert simulate_streaming(stages) == 23
+
+    def test_identical_stages_reach_bottleneck_rate(self):
+        stage = StageCycles(4, 6, 10)
+        n = 50
+        total = analytic_streaming_cycles([stage] * n)
+        # Steady state: one result per bottleneck interval.
+        assert total == pytest.approx(n * 10, rel=0.1)
+        assert simulate_streaming([stage] * n) == total
+
+    def test_streaming_never_slower_than_sequential(self):
+        rng = np.random.default_rng(0)
+        stages = [
+            StageCycles(
+                int(rng.integers(1, 30)),
+                int(rng.integers(1, 30)),
+                int(rng.integers(1, 30)),
+            )
+            for _ in range(20)
+        ]
+        streaming = simulate_streaming(stages)
+        sequential = sum(s.sequential_total for s in stages)
+        assert streaming <= sequential
+        # Blocking (two banks) can only add over the unbounded bound.
+        assert streaming >= analytic_streaming_cycles(stages)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=1, max_value=30),
+    )
+    def test_event_sim_bounded_by_recurrence_and_sum(self, seed, n):
+        """Two-bank blocking sits between the infinite-buffer lower
+        bound and the fully sequential upper bound."""
+        rng = np.random.default_rng(seed)
+        stages = [
+            StageCycles(
+                int(rng.integers(0, 40)),
+                int(rng.integers(1, 40)),
+                int(rng.integers(1, 40)),
+            )
+            for _ in range(n)
+        ]
+        streaming = simulate_streaming(stages)
+        assert analytic_streaming_cycles(stages) <= streaming
+        assert streaming <= sum(s.sequential_total for s in stages)
+
+    def test_makespan_lower_bound_is_bottleneck_sum(self):
+        rng = np.random.default_rng(3)
+        stages = [
+            StageCycles(
+                int(rng.integers(1, 20)),
+                int(rng.integers(1, 20)),
+                int(rng.integers(1, 20)),
+            )
+            for _ in range(15)
+        ]
+        total = analytic_streaming_cycles(stages)
+        for attr in ("transfer_cycles", "write_cycles", "read_output_cycles"):
+            assert total >= sum(getattr(s, attr) for s in stages)
+
+
+class TestRunStreaming:
+    def test_on_trained_system(self, task1_system):
+        config = HwConfig(frequency_mhz=100.0).with_embed_dim(
+            task1_system["weights"].config.embed_dim
+        )
+        batch = task1_system["test_batch"]
+        vocab = task1_system["weights"].config.vocab_size
+        report = run_streaming(
+            batch, config, task1_system["weights"].config.hops, vocab
+        )
+        assert report.n_examples == len(batch)
+        assert report.speedup > 1.0
+        assert report.wall_seconds(config) > 0
+
+    def test_stage_costs_reflect_ith(self, task1_system):
+        """Fewer visited output rows shrink the read/output stage."""
+        config = HwConfig(frequency_mhz=100.0).with_embed_dim(
+            task1_system["weights"].config.embed_dim
+        )
+        batch = task1_system["test_batch"]
+        hops = task1_system["weights"].config.hops
+        full = stage_cycles_for_batch(
+            batch, config, hops, task1_system["weights"].config.vocab_size
+        )
+        reduced = stage_cycles_for_batch(batch, config, hops, 5)
+        for a, b in zip(full, reduced):
+            assert b.read_output_cycles < a.read_output_cycles
+            assert b.write_cycles == a.write_cycles
+
+    def test_interface_bound_workload_hides_compute(self, task1_system):
+        """When transfer dominates, streaming time ~= transfer time."""
+        config = HwConfig(frequency_mhz=400.0).with_embed_dim(
+            task1_system["weights"].config.embed_dim
+        )
+        batch = task1_system["test_batch"]
+        report = run_streaming(
+            batch, config, task1_system["weights"].config.hops, 10
+        )
+        transfer_total = sum(
+            s.transfer_cycles for s in report.stage_cycles
+        )
+        assert report.total_cycles_streaming < 1.25 * transfer_total

@@ -1,0 +1,118 @@
+"""Tests for the design-space exploration utilities."""
+
+import pytest
+
+from repro.hw import HwConfig
+from repro.hw.sweep import (
+    WorkloadShape,
+    evaluate_design_point,
+    frequency_sweep,
+    interface_latency_sweep,
+    lane_width_sweep,
+    sweep_table,
+)
+from repro.mann.config import MannConfig
+
+
+@pytest.fixture()
+def workload():
+    return WorkloadShape(n_examples=500)
+
+
+@pytest.fixture()
+def model_config():
+    return MannConfig(vocab_size=170, embed_dim=20, memory_size=20)
+
+
+class TestEvaluateDesignPoint:
+    def test_basic_fields(self, workload, model_config):
+        point = evaluate_design_point(
+            workload, HwConfig().with_embed_dim(20), model_config
+        )
+        assert point.cycles_per_example > 0
+        assert point.wall_seconds > 0
+        assert 12.0 < point.average_power_w < 25.0
+        assert point.fits
+
+    def test_matches_cycle_model(self, workload, model_config):
+        from repro.hw.latency import LatencyParams
+        from repro.hw.timing import CycleModel
+
+        point = evaluate_design_point(
+            workload, HwConfig().with_embed_dim(20), model_config
+        )
+        expected = CycleModel(LatencyParams(embed_dim=20)).example_cycles(
+            list(workload.sentence_word_counts),
+            workload.question_words,
+            workload.hops,
+            workload.output_visited,
+        )
+        assert point.cycles_per_example == expected.total
+
+    def test_ith_workload_fewer_cycles(self, workload, model_config):
+        plain = evaluate_design_point(
+            workload, HwConfig().with_embed_dim(20), model_config
+        )
+        thresholded = evaluate_design_point(
+            workload.with_output_visited(40),
+            HwConfig().with_embed_dim(20),
+            model_config,
+        )
+        assert thresholded.cycles_per_example < plain.cycles_per_example
+
+
+class TestFrequencySweep:
+    def test_time_monotone_power_monotone(self, workload, model_config):
+        points = frequency_sweep(workload, model_config)
+        times = [p.wall_seconds for p in points]
+        powers = [p.average_power_w for p in points]
+        assert times == sorted(times, reverse=True)
+        assert powers == sorted(powers)
+
+    def test_diminishing_returns(self, workload, model_config):
+        """Each clock doubling buys less time (interface bound)."""
+        points = frequency_sweep(
+            workload, model_config, frequencies_mhz=(25.0, 50.0, 100.0, 200.0)
+        )
+        gains = [
+            points[i].wall_seconds / points[i + 1].wall_seconds
+            for i in range(len(points) - 1)
+        ]
+        assert gains == sorted(gains, reverse=True)
+        assert gains[-1] < 1.5
+
+
+class TestLaneWidthSweep:
+    def test_wider_model_more_cycles_and_dsps(self, workload):
+        """A larger embedding costs controller cycles and DSP lanes."""
+        points = lane_width_sweep(workload, vocab_size=170, widths=(8, 32))
+        assert points[1].cycles_per_example > points[0].cycles_per_example
+        assert points[1].resources.dsps > points[0].resources.dsps
+
+    def test_all_widths_fit_device(self, workload):
+        points = lane_width_sweep(workload, vocab_size=170)
+        assert all(p.fits for p in points)
+
+
+class TestInterfaceLatencySweep:
+    def test_lower_latency_faster(self, workload, model_config):
+        points = interface_latency_sweep(workload, model_config)
+        times = [p.wall_seconds for _lat, p in points]
+        assert times == sorted(times, reverse=True)
+
+    def test_latencies_recorded(self, workload, model_config):
+        points = interface_latency_sweep(
+            workload, model_config, latencies_us=(13.0, 1.0)
+        )
+        assert points[0][0] == 13.0
+        assert points[1][0] == 1.0
+
+
+class TestSweepTable:
+    def test_renders(self, workload, model_config):
+        points = frequency_sweep(
+            workload, model_config, frequencies_mhz=(25.0, 100.0)
+        )
+        text = sweep_table(points, "demo").render()
+        assert "cycles/example" in text
+        assert "yes" in text

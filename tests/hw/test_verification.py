@@ -1,0 +1,83 @@
+"""Tests for the co-simulation verification module."""
+
+import numpy as np
+import pytest
+
+from repro.hw import HwConfig, MannAccelerator
+from repro.hw.verification import verify_against_golden
+
+
+@pytest.fixture(scope="module")
+def verified(task1_system):
+    config = HwConfig(frequency_mhz=25.0).with_embed_dim(
+        task1_system["weights"].config.embed_dim
+    )
+    accelerator = MannAccelerator(task1_system["weights"], config)
+    return verify_against_golden(
+        accelerator, task1_system["test_batch"], max_examples=25
+    )
+
+
+class TestVerification:
+    def test_bit_exact_without_ith(self, verified):
+        assert verified.bit_exact, verified.summary()
+        assert verified.worst_error == 0.0
+
+    def test_all_predictions_match(self, verified):
+        assert verified.all_predictions_match
+        assert verified.failures() == []
+
+    def test_example_count_respected(self, verified):
+        assert verified.n_examples == 25
+
+    def test_summary_format(self, verified):
+        text = verified.summary()
+        assert "BIT-EXACT" in text
+        assert "25 examples" in text
+
+    def test_ith_configuration_also_verifies(self, task1_system):
+        config = (
+            HwConfig(frequency_mhz=25.0)
+            .with_embed_dim(task1_system["weights"].config.embed_dim)
+            .with_ith(True, rho=1.0)
+        )
+        accelerator = MannAccelerator(
+            task1_system["weights"], config, task1_system["threshold_model"]
+        )
+        report = verify_against_golden(
+            accelerator, task1_system["test_batch"], max_examples=15
+        )
+        assert report.bit_exact, report.summary()
+
+    def test_detects_corrupted_weights(self, task1_system):
+        """A deliberately wrong OUTPUT weight must show as divergence."""
+        import copy
+
+        weights = copy.deepcopy(task1_system["weights"])
+        config = HwConfig(frequency_mhz=25.0).with_embed_dim(
+            weights.config.embed_dim
+        )
+        accelerator = MannAccelerator(weights, config)
+        # Corrupt the accelerator's address memory weight after build:
+        # golden engine uses the original values.
+        accelerator.weights.w_emb_a[1:] += 0.5
+
+        from repro.mann.inference import InferenceEngine
+
+        golden_engine = InferenceEngine(task1_system["weights"])
+        batch = task1_system["test_batch"]
+        golden = golden_engine.forward_trace(
+            batch.stories[0], batch.questions[0], int(batch.story_lengths[0])
+        )
+        from repro.hw.kernel import Environment
+
+        env = Environment()
+        fifo_in, fifo_out, _c, _iw, mem, _read, _out = (
+            accelerator._build_pipeline(env)
+        )
+        accelerator.run_example(
+            env, fifo_in, fifo_out, mem,
+            batch.stories[0], batch.questions[0], int(batch.story_lengths[0]),
+        )
+        n = int(batch.story_lengths[0])
+        assert not np.allclose(mem.mem_a[:n], golden.mem_a)

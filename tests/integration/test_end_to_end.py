@@ -1,0 +1,136 @@
+"""End-to-end integration tests across every layer of the system.
+
+Each test runs the full path the paper's system takes: synthetic data ->
+trained model -> fitted thresholds -> accelerator simulation -> metrics,
+asserting cross-layer invariants that unit tests cannot see.
+"""
+
+import numpy as np
+import pytest
+
+from repro.babi import generate_task_dataset
+from repro.devices import CpuModel, GpuModel
+from repro.eval.workload import nominal_ops
+from repro.hw import HwConfig, MannAccelerator
+from repro.mann import InferenceEngine, train_task_model
+from repro.mips import ExactMips, InferenceThresholding, fit_threshold_model
+
+
+@pytest.fixture(scope="module", params=[2, 11, 16])
+def pipeline(request):
+    """Train + fit + simulate one non-trivial task end to end."""
+    task_id = request.param
+    train, test = generate_task_dataset(task_id, 150, 50, seed=31)
+    result = train_task_model(train, test, epochs=30, seed=1)
+    weights = result.model.export_weights()
+    engine = InferenceEngine(weights)
+    train_batch = train.encode()
+    logits = engine.logits_batch(
+        train_batch.stories, train_batch.questions, train_batch.story_lengths
+    )
+    thresholds = fit_threshold_model(logits, train_batch.answers)
+    return {
+        "task_id": task_id,
+        "train": train,
+        "test": test,
+        "result": result,
+        "weights": weights,
+        "engine": engine,
+        "thresholds": thresholds,
+    }
+
+
+class TestFullPipeline:
+    def test_model_learns_task(self, pipeline):
+        majority = pipeline["train"].majority_baseline_accuracy()
+        assert pipeline["result"].test_accuracy > majority
+
+    def test_accelerator_equals_golden_engine(self, pipeline):
+        batch = pipeline["test"].encode()
+        config = HwConfig(frequency_mhz=50.0).with_embed_dim(
+            pipeline["weights"].config.embed_dim
+        )
+        report = MannAccelerator(pipeline["weights"], config).run(batch)
+        golden = pipeline["engine"].predict(
+            batch.stories, batch.questions, batch.story_lengths
+        )
+        assert np.array_equal(report.predictions, golden)
+
+    def test_ith_end_to_end_accuracy_cost(self, pipeline):
+        batch = pipeline["test"].encode()
+        base = HwConfig(frequency_mhz=50.0).with_embed_dim(
+            pipeline["weights"].config.embed_dim
+        )
+        plain = MannAccelerator(pipeline["weights"], base).run(batch)
+        ith = MannAccelerator(
+            pipeline["weights"],
+            base.with_ith(True, rho=1.0),
+            pipeline["thresholds"],
+        ).run(batch)
+        assert ith.accuracy >= plain.accuracy - 0.06
+        assert ith.total_cycles <= plain.total_cycles
+
+    def test_fpga_more_efficient_than_gpu(self, pipeline):
+        batch = pipeline["test"].encode()
+        config = HwConfig(frequency_mhz=100.0).with_embed_dim(
+            pipeline["weights"].config.embed_dim
+        )
+        fpga = MannAccelerator(pipeline["weights"], config).run(batch)
+        ops = nominal_ops(
+            batch,
+            pipeline["weights"].config.embed_dim,
+            pipeline["weights"].config.hops,
+            pipeline["weights"].config.vocab_size,
+        )
+        gpu = GpuModel(config.calibration).run(ops, len(batch))
+        cpu = CpuModel(config.calibration).run(ops, len(batch))
+        assert fpga.wall_seconds < gpu.seconds
+        assert fpga.energy_joules < gpu.energy_joules
+        assert fpga.energy_joules < cpu.energy_joules
+
+    def test_software_and_hardware_mips_agree(self, pipeline):
+        batch = pipeline["test"].encode()
+        weights = pipeline["weights"]
+        sw_exact = ExactMips(weights.w_o)
+        sw_ith = InferenceThresholding(
+            weights.w_o, pipeline["thresholds"], rho=1.0
+        )
+        engine = pipeline["engine"]
+        for i in range(0, len(batch), 7):
+            h = engine.forward_trace(
+                batch.stories[i], batch.questions[i], int(batch.story_lengths[i])
+            ).h_final
+            exact = sw_exact.search(h)
+            ith = sw_ith.search(h)
+            if not ith.early_exit:
+                assert ith.label == exact.label
+
+
+class TestCrossTaskConsistency:
+    def test_suite_metrics_consistent_with_single_runs(self, small_suite):
+        """Table I totals must equal the sum of per-task artifacts."""
+        from repro.eval.experiments import run_table1
+
+        table1 = run_table1(small_suite)
+        for mhz in (25.0, 100.0):
+            row = table1.row(f"FPGA {mhz:.0f} MHz")
+            total = sum(
+                a.wall_seconds(mhz) for a in table1.fpga_plain.values()
+            )
+            assert row.seconds == pytest.approx(total)
+
+    def test_quantized_weights_run_through_accelerator(self, small_suite):
+        from repro.mann.quantize import QFormat, quantize_weights
+
+        system = small_suite.tasks[1]
+        quantized, _ = quantize_weights(system.weights, QFormat(3, 10))
+        config = HwConfig(frequency_mhz=50.0).with_embed_dim(
+            quantized.config.embed_dim
+        )
+        batch = system.test_batch
+        report = MannAccelerator(quantized, config).run(batch)
+        golden = InferenceEngine(quantized).predict(
+            batch.stories, batch.questions, batch.story_lengths
+        )
+        assert np.array_equal(report.predictions, golden)
+        assert report.accuracy >= system.test_accuracy - 0.1

@@ -1,0 +1,59 @@
+"""Tests for attention analysis utilities."""
+
+import pytest
+
+from repro.mann.analysis import attention_statistics, hop_contributions
+
+
+class TestAttentionStatistics:
+    @pytest.fixture(scope="class")
+    def stats(self, task1_system):
+        return attention_statistics(
+            task1_system["engine"], task1_system["test"], max_examples=60
+        )
+
+    def test_structure(self, stats, task1_system):
+        hops = task1_system["engine"].config.hops
+        assert len(stats.support_recall_per_hop) == hops
+        assert len(stats.mean_entropy_per_hop) == hops
+        assert stats.n_examples > 0
+
+    def test_recall_bounds(self, stats):
+        for r in stats.support_recall_per_hop:
+            assert 0.0 <= r <= 1.0
+        assert 0.0 <= stats.support_recall_any_hop <= 1.0
+
+    def test_any_hop_at_least_best_single_hop(self, stats):
+        assert stats.support_recall_any_hop >= max(
+            stats.support_recall_per_hop
+        ) - 1e-9
+
+    def test_trained_model_attends_to_support(self, stats):
+        """A converged task-1 model should find the supporting fact in
+        at least one hop for most examples."""
+        assert stats.support_recall_any_hop > 0.5
+
+    def test_max_attention_bounds(self, stats):
+        for m in stats.mean_max_attention_per_hop:
+            assert 0.0 < m <= 1.0
+
+    def test_summary_text(self, stats):
+        assert "supporting-fact recall" in stats.summary()
+
+
+class TestHopContributions:
+    def test_norms_positive(self, task1_system):
+        contrib = hop_contributions(
+            task1_system["engine"], task1_system["test"], max_examples=30
+        )
+        hops = task1_system["engine"].config.hops
+        assert len(contrib.read_norms) == hops
+        assert all(n > 0 for n in contrib.read_norms)
+        assert all(n >= 0 for n in contrib.carry_norms)
+
+    def test_dominance_in_unit_interval(self, task1_system):
+        contrib = hop_contributions(
+            task1_system["engine"], task1_system["test"], max_examples=30
+        )
+        for d in contrib.read_dominance_per_hop:
+            assert 0.0 <= d <= 1.0

@@ -1,0 +1,79 @@
+"""Tests for joint multi-task training."""
+
+import numpy as np
+import pytest
+
+from repro.mann.joint import build_joint_dataset, train_joint_model
+
+
+class TestBuildJointDataset:
+    def test_merges_tasks(self):
+        joint = build_joint_dataset((1, 6), n_per_task=10, seed=0)
+        assert len(joint.dataset) == 20
+        assert set(joint.task_of_example.tolist()) == {1, 6}
+
+    def test_task_indices(self):
+        joint = build_joint_dataset((1, 6), n_per_task=10, seed=0)
+        idx1 = joint.task_indices(1)
+        idx6 = joint.task_indices(6)
+        assert len(idx1) == 10
+        assert len(idx6) == 10
+        assert not set(idx1) & set(idx6)
+
+    def test_empty_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            build_joint_dataset((), n_per_task=5, seed=0)
+
+    def test_encoding_covers_all_tasks(self):
+        joint = build_joint_dataset((1, 4, 15), n_per_task=8, seed=1)
+        batch = joint.dataset.encode()
+        assert batch.stories.shape[0] == 24
+
+
+class TestTrainJointModel:
+    @pytest.fixture(scope="class")
+    def joint(self):
+        return train_joint_model(
+            task_ids=(1, 6),
+            n_train_per_task=80,
+            n_test_per_task=30,
+            embed_dim=16,
+            epochs=25,
+            seed=5,
+        )
+
+    def test_per_task_accuracy_reported(self, joint):
+        assert set(joint.per_task_accuracy) == {1, 6}
+        for accuracy in joint.per_task_accuracy.values():
+            assert 0.0 <= accuracy <= 1.0
+
+    def test_single_model_learns_both_tasks(self, joint):
+        """One weight set must beat chance on both task types."""
+        for task_id, accuracy in joint.per_task_accuracy.items():
+            idx = joint.test.task_indices(task_id)
+            answers = joint.test.dataset.encode().answers[idx]
+            _, counts = np.unique(answers, return_counts=True)
+            majority = counts.max() / counts.sum()
+            assert accuracy >= majority - 0.1, (
+                f"task {task_id}: {accuracy:.2f} vs majority {majority:.2f}"
+            )
+
+    def test_mean_accuracy(self, joint):
+        assert joint.mean_accuracy == pytest.approx(
+            np.mean(list(joint.per_task_accuracy.values()))
+        )
+
+    def test_joint_model_runs_on_accelerator(self, joint):
+        """A jointly trained model is one transfer serving all tasks."""
+        from repro.hw import HwConfig, MannAccelerator
+
+        weights = joint.model.export_weights()
+        config = HwConfig(frequency_mhz=50.0).with_embed_dim(
+            weights.config.embed_dim
+        )
+        batch = joint.test.dataset.encode()
+        report = MannAccelerator(weights, config).run(batch)
+        golden = joint.engine.predict(
+            batch.stories, batch.questions, batch.story_lengths
+        )
+        assert np.array_equal(report.predictions, golden)

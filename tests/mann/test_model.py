@@ -1,0 +1,126 @@
+"""Tests for the MemN2N model and its configuration."""
+
+import numpy as np
+import pytest
+
+from repro.babi import generate_task_dataset
+from repro.mann import MannConfig, MemoryNetwork
+from repro.nn import cross_entropy
+
+
+class TestMannConfig:
+    def test_defaults(self):
+        cfg = MannConfig(vocab_size=50)
+        assert cfg.embed_dim == 20
+        assert cfg.hops == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MannConfig(vocab_size=1)
+        with pytest.raises(ValueError):
+            MannConfig(vocab_size=10, embed_dim=0)
+        with pytest.raises(ValueError):
+            MannConfig(vocab_size=10, memory_size=0)
+        with pytest.raises(ValueError):
+            MannConfig(vocab_size=10, hops=0)
+
+    def test_with_memory_size(self):
+        cfg = MannConfig(vocab_size=10, memory_size=5)
+        assert cfg.with_memory_size(9).memory_size == 9
+        assert cfg.with_memory_size(9).vocab_size == 10
+
+
+class TestMemoryNetwork:
+    @pytest.fixture()
+    def setup(self):
+        train, test = generate_task_dataset(1, 30, 10, seed=2)
+        cfg = MannConfig(
+            vocab_size=train.vocab_size,
+            embed_dim=8,
+            memory_size=train.memory_size,
+            hops=2,
+            seed=0,
+        )
+        return MemoryNetwork(cfg), train.encode(), cfg
+
+    def test_forward_shape(self, setup):
+        model, batch, cfg = setup
+        logits = model.forward(batch.stories, batch.questions, batch.story_lengths)
+        assert logits.shape == (len(batch), cfg.vocab_size)
+
+    def test_pad_rows_zero_after_init(self, setup):
+        model, _, _ = setup
+        assert np.array_equal(model.w_emb_a.data[0], np.zeros(8))
+        assert np.array_equal(model.w_emb_q.data[0], np.zeros(8))
+
+    def test_forward_rejects_wrong_rank(self, setup):
+        model, batch, _ = setup
+        with pytest.raises(ValueError):
+            model.forward(batch.stories[0], batch.questions)
+        with pytest.raises(ValueError):
+            model.forward(batch.stories, batch.questions[0])
+
+    def test_forward_rejects_wrong_memory(self, setup):
+        model, batch, _ = setup
+        with pytest.raises(ValueError):
+            model.forward(batch.stories[:, :2], batch.questions)
+
+    def test_padding_slots_masked(self, setup):
+        """Extending a story with pad slots must not change the logits."""
+        model, batch, cfg = setup
+        logits = model.forward(
+            batch.stories, batch.questions, batch.story_lengths
+        ).data
+        # Without lengths, pad slots would receive temporal encodings and
+        # change the result.
+        logits_nolen = model.forward(batch.stories, batch.questions).data
+        short = batch.story_lengths < cfg.memory_size
+        assert short.any()
+        assert not np.allclose(logits[short], logits_nolen[short])
+
+    def test_deterministic_for_seed(self, setup):
+        _, batch, cfg = setup
+        a = MemoryNetwork(cfg).forward(batch.stories, batch.questions).data
+        b = MemoryNetwork(cfg).forward(batch.stories, batch.questions).data
+        assert np.array_equal(a, b)
+
+    def test_gradients_reach_all_parameters(self, setup):
+        model, batch, _ = setup
+        logits = model.forward(batch.stories, batch.questions, batch.story_lengths)
+        loss = cross_entropy(logits, batch.answers)
+        loss.backward()
+        for name, p in model.named_parameters():
+            assert p.grad is not None, f"no gradient for {name}"
+            assert np.isfinite(p.grad).all()
+
+    def test_zero_pad_rows(self, setup):
+        model, _, _ = setup
+        model.w_emb_a.data[0] = 1.0
+        model.zero_pad_rows()
+        assert np.array_equal(model.w_emb_a.data[0], np.zeros(8))
+
+    def test_export_weights_shapes(self, setup):
+        model, _, cfg = setup
+        w = model.export_weights()
+        assert w.w_emb_a.shape == (cfg.vocab_size, cfg.embed_dim)
+        assert w.w_r.shape == (cfg.embed_dim, cfg.embed_dim)
+        assert w.t_a.shape == (cfg.memory_size, cfg.embed_dim)
+
+    def test_export_weights_is_copy(self, setup):
+        model, _, _ = setup
+        w = model.export_weights()
+        model.w_r.data[...] = 0.0
+        assert not np.array_equal(w.w_r, model.w_r.data)
+
+    def test_no_temporal_encoding_option(self):
+        cfg = MannConfig(
+            vocab_size=10, embed_dim=4, memory_size=3, temporal_encoding=False
+        )
+        model = MemoryNetwork(cfg)
+        assert np.array_equal(model.t_a.data, np.zeros((3, 4)))
+
+    def test_predict_returns_labels(self, setup):
+        model, batch, cfg = setup
+        preds = model.predict(batch.stories, batch.questions, batch.story_lengths)
+        assert preds.shape == (len(batch),)
+        assert (preds >= 0).all() and (preds < cfg.vocab_size).all()

@@ -1,0 +1,114 @@
+"""Tests for fixed-point weight quantization."""
+
+import numpy as np
+import pytest
+
+from repro.mann import InferenceEngine
+from repro.mann.quantize import QFormat, accuracy_vs_bits, quantize_weights
+
+
+class TestQFormat:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QFormat(-1, 4)
+        with pytest.raises(ValueError):
+            QFormat(0, 0)
+
+    def test_word_width(self):
+        assert QFormat(3, 12).total_bits == 16
+        assert QFormat(0, 7).total_bits == 8
+
+    def test_resolution_and_range(self):
+        q = QFormat(2, 4)
+        assert q.resolution == pytest.approx(1 / 16)
+        assert q.max_value == pytest.approx(4 - 1 / 16)
+        assert q.min_value == -4.0
+
+    def test_quantize_rounds_to_grid(self):
+        q = QFormat(2, 2)  # resolution 0.25
+        assert q.quantize(np.array([0.3]))[0] == pytest.approx(0.25)
+        assert q.quantize(np.array([0.38]))[0] == pytest.approx(0.5)
+
+    def test_saturation(self):
+        q = QFormat(1, 2)
+        out = q.quantize(np.array([100.0, -100.0]))
+        assert out[0] == pytest.approx(q.max_value)
+        assert out[1] == pytest.approx(q.min_value)
+
+    def test_grid_values_are_fixed_points(self):
+        q = QFormat(3, 8)
+        values = np.random.default_rng(0).normal(size=100)
+        snapped = q.quantize(values)
+        assert np.array_equal(q.quantize(snapped), snapped)  # idempotent
+
+    def test_integer_roundtrip(self):
+        q = QFormat(2, 6)
+        values = np.random.default_rng(1).uniform(-3, 3, size=50)
+        codes = q.to_integers(values)
+        assert np.allclose(q.from_integers(codes), q.quantize(values))
+
+    def test_str(self):
+        assert str(QFormat(3, 12)) == "Q3.12"
+
+    def test_finer_precision_less_error(self):
+        values = np.random.default_rng(2).normal(size=200)
+        coarse = np.abs(QFormat(3, 2).quantize(values) - values).max()
+        fine = np.abs(QFormat(3, 10).quantize(values) - values).max()
+        assert fine < coarse
+
+
+class TestQuantizeWeights:
+    def test_all_matrices_on_grid(self, task1_system):
+        q = QFormat(3, 8)
+        quantized, _ = quantize_weights(task1_system["weights"], q)
+        for name in ("w_emb_a", "w_o", "w_r", "t_a"):
+            matrix = getattr(quantized, name)
+            assert np.array_equal(q.quantize(matrix), matrix)
+
+    def test_error_bounded_by_half_lsb(self, task1_system):
+        q = QFormat(3, 8)
+        _, report = quantize_weights(task1_system["weights"], q)
+        # No saturation expected for N(0, 0.1)-scale weights.
+        assert all(v == 0.0 for v in report.saturated_fraction.values())
+        assert report.worst_max_abs_error <= q.resolution / 2 + 1e-12
+
+    def test_compression_ratio(self, task1_system):
+        _, report = quantize_weights(task1_system["weights"], QFormat(3, 12))
+        assert report.compression_ratio == pytest.approx(32 / 16)
+
+    def test_config_preserved(self, task1_system):
+        quantized, _ = quantize_weights(task1_system["weights"], QFormat(3, 8))
+        assert quantized.config is task1_system["weights"].config
+
+    def test_original_untouched(self, task1_system):
+        before = task1_system["weights"].w_o.copy()
+        quantize_weights(task1_system["weights"], QFormat(1, 2))
+        assert np.array_equal(before, task1_system["weights"].w_o)
+
+
+class TestAccuracyVsBits:
+    def test_accuracy_holds_at_high_precision(self, task1_system):
+        batch = task1_system["test_batch"]
+
+        def evaluate(weights):
+            return InferenceEngine(weights).accuracy(
+                batch.stories, batch.questions, batch.answers, batch.story_lengths
+            )
+
+        baseline = evaluate(task1_system["weights"])
+        sweep = accuracy_vs_bits(
+            task1_system["weights"], evaluate, frac_bits_sweep=(10, 8, 2)
+        )
+        accuracy_by_bits = {q.frac_bits: acc for q, acc, _ in sweep}
+        assert accuracy_by_bits[10] >= baseline - 0.02
+        assert accuracy_by_bits[8] >= baseline - 0.05
+        # 2 fractional bits destroys the N(0, 0.1)-scale weights.
+        assert accuracy_by_bits[2] < baseline
+
+    def test_report_bytes_shrink_with_bits(self, task1_system):
+        batch = task1_system["test_batch"]
+        evaluate = lambda w: 0.0  # noqa: E731 - accuracy unused here
+        sweep = accuracy_vs_bits(
+            task1_system["weights"], evaluate, frac_bits_sweep=(12, 6)
+        )
+        assert sweep[0][2].quantized_bytes > sweep[1][2].quantized_bytes

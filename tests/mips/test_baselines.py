@@ -1,0 +1,88 @@
+"""Tests for the ALSH and clustering MIPS baselines."""
+
+import numpy as np
+import pytest
+
+from repro.mips import AlshMips, ClusteringMips, ExactMips
+
+
+@pytest.fixture()
+def database(rng):
+    return rng.normal(size=(40, 8))
+
+
+class TestAlsh:
+    def test_returns_valid_index(self, database, rng):
+        engine = AlshMips(database, seed=0)
+        result = engine.search(rng.normal(size=8))
+        assert 0 <= result.label < 40
+
+    def test_reasonable_recall(self, database, rng):
+        engine = AlshMips(database, n_tables=12, n_bits=6, seed=0)
+        exact = ExactMips(database)
+        queries = rng.normal(size=(60, 8))
+        hits = np.mean(
+            [engine.search(q).label == exact.search(q).label for q in queries]
+        )
+        assert hits > 0.5
+
+    def test_fewer_comparisons_than_exact_sometimes(self, database, rng):
+        engine = AlshMips(database, n_tables=4, n_bits=10, seed=0)
+        comparisons = [
+            engine.search(q).comparisons for q in rng.normal(size=(40, 8))
+        ]
+        assert min(comparisons) < 40
+
+    def test_deterministic(self, database, rng):
+        q = rng.normal(size=8)
+        a = AlshMips(database, seed=3).search(q)
+        b = AlshMips(database, seed=3).search(q)
+        assert a.label == b.label
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            AlshMips(np.zeros(5))
+
+    def test_search_batch(self, database, rng):
+        results = AlshMips(database, seed=0).search_batch(rng.normal(size=(5, 8)))
+        assert len(results) == 5
+
+
+class TestClustering:
+    def test_returns_valid_index(self, database, rng):
+        result = ClusteringMips(database, seed=0).search(rng.normal(size=8))
+        assert 0 <= result.label < 40
+
+    def test_probe_all_equals_exact(self, database, rng):
+        engine = ClusteringMips(database, n_clusters=4, n_probe=4, seed=0)
+        exact = ExactMips(database)
+        for q in rng.normal(size=(30, 8)):
+            assert engine.search(q).label == exact.search(q).label
+
+    def test_good_recall_with_partial_probe(self, database, rng):
+        engine = ClusteringMips(database, n_clusters=8, n_probe=3, seed=0)
+        exact = ExactMips(database)
+        queries = rng.normal(size=(60, 8))
+        hits = np.mean(
+            [engine.search(q).label == exact.search(q).label for q in queries]
+        )
+        assert hits > 0.6
+
+    def test_clusters_capped_at_rows(self, rng):
+        small = rng.normal(size=(3, 4))
+        engine = ClusteringMips(small, n_clusters=10, n_probe=10)
+        assert engine.n_clusters == 3
+
+    def test_all_rows_assigned(self, database):
+        engine = ClusteringMips(database, n_clusters=6, seed=0)
+        members = np.concatenate(engine.members)
+        assert sorted(members.tolist()) == list(range(40))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            ClusteringMips(np.zeros(5))
+
+    def test_comparisons_include_centroid_scan(self, database, rng):
+        engine = ClusteringMips(database, n_clusters=5, n_probe=1, seed=0)
+        result = engine.search(rng.normal(size=8))
+        assert result.comparisons >= 5  # at least the centroid dots

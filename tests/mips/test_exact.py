@@ -1,0 +1,49 @@
+"""Tests for the exact sequential MIPS engine."""
+
+import numpy as np
+import pytest
+
+from repro.mips import ExactMips
+
+
+class TestExactMips:
+    def test_finds_argmax(self, rng):
+        weight = rng.normal(size=(12, 6))
+        query = rng.normal(size=6)
+        result = ExactMips(weight).search(query)
+        assert result.label == int(np.argmax(weight @ query))
+        assert np.isclose(result.logit, (weight @ query).max())
+
+    def test_counts_all_comparisons(self, rng):
+        weight = rng.normal(size=(9, 4))
+        result = ExactMips(weight).search(rng.normal(size=4))
+        assert result.comparisons == 9
+        assert not result.early_exit
+
+    def test_custom_order_same_result(self, rng):
+        weight = rng.normal(size=(8, 4))
+        query = rng.normal(size=4)
+        order = rng.permutation(8)
+        plain = ExactMips(weight).search(query)
+        permuted = ExactMips(weight, order=order).search(query)
+        assert plain.label == permuted.label
+
+    def test_invalid_order_rejected(self, rng):
+        weight = rng.normal(size=(5, 3))
+        with pytest.raises(ValueError):
+            ExactMips(weight, order=np.array([0, 1, 2, 3, 3]))
+
+    def test_one_dim_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ExactMips(np.zeros(5))
+
+    def test_search_batch(self, rng):
+        weight = rng.normal(size=(7, 3))
+        queries = rng.normal(size=(4, 3))
+        results = ExactMips(weight).search_batch(queries)
+        assert len(results) == 4
+        expected = np.argmax(queries @ weight.T, axis=1)
+        assert [r.label for r in results] == expected.tolist()
+
+    def test_num_indices(self, rng):
+        assert ExactMips(rng.normal(size=(11, 2))).num_indices == 11

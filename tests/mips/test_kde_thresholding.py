@@ -1,0 +1,71 @@
+"""Tests for the KDE-backed threshold model variant."""
+
+import numpy as np
+import pytest
+
+from repro.mips import ExactMips, InferenceThresholding, fit_threshold_model
+
+
+@pytest.fixture(scope="module")
+def kde_model(task1_system):
+    return fit_threshold_model(
+        task1_system["train_logits"],
+        task1_system["train_batch"].answers,
+        density="kde",
+    )
+
+
+class TestKdeThresholdModel:
+    def test_unknown_density_rejected(self, task1_system):
+        with pytest.raises(ValueError):
+            fit_threshold_model(
+                task1_system["train_logits"],
+                task1_system["train_batch"].answers,
+                density="splines",
+            )
+
+    def test_uses_kde_flag(self, kde_model, task1_system):
+        assert kde_model.uses_kde
+        assert not task1_system["threshold_model"].uses_kde
+
+    def test_posteriors_in_unit_interval(self, kde_model):
+        for index in list(kde_model.positive_kdes)[:5]:
+            for value in np.linspace(-5, 10, 9):
+                assert 0.0 <= kde_model.posterior(index, float(value)) <= 1.0
+
+    def test_posterior_increases_into_positive_region(self, kde_model):
+        """Deep in the argmax mixture the posterior must be higher."""
+        index = max(
+            kde_model.positive_kdes,
+            key=lambda i: kde_model.positive_kdes[i].samples.size,
+        )
+        samples = kde_model.positive_kdes[index].samples
+        high = float(np.quantile(samples, 0.9))
+        neg = kde_model.negative_kdes.get(index)
+        low = float(np.quantile(neg.samples, 0.1)) if neg is not None else high - 5
+        assert kde_model.posterior(index, high) >= kde_model.posterior(index, low)
+
+    def test_kde_engine_agrees_with_exact(self, kde_model, task1_system):
+        w = task1_system["weights"].w_o
+        engine = InferenceThresholding(w, kde_model, rho=0.95)
+        exact = ExactMips(w)
+        batch = task1_system["test_batch"]
+        agree = 0
+        total = 30
+        for i in range(total):
+            h = task1_system["engine"].forward_trace(
+                batch.stories[i], batch.questions[i], int(batch.story_lengths[i])
+            ).h_final
+            agree += int(engine.search(h).label == exact.search(h).label)
+        assert agree / total > 0.85
+
+    def test_kde_thresholds_monotone_in_rho(self, kde_model):
+        theta_99 = kde_model.thresholds(0.99)
+        theta_90 = kde_model.thresholds(0.90)
+        assert (theta_90 <= theta_99 + 1e-12).all()
+
+    def test_shares_ordering_with_histogram_fit(self, kde_model, task1_system):
+        """Step 3 ordering is estimator-independent (raw samples)."""
+        assert np.array_equal(
+            kde_model.order, task1_system["threshold_model"].order
+        )

@@ -1,0 +1,72 @@
+"""Tests for silhouette-based index ordering."""
+
+import numpy as np
+import pytest
+
+from repro.mips import index_order_by_silhouette, silhouette_coefficient
+
+
+class TestSilhouetteCoefficient:
+    def test_separated_clusters_score_high(self, rng):
+        pos = rng.normal(loc=10.0, scale=0.2, size=50)
+        neg = rng.normal(loc=0.0, scale=0.2, size=200)
+        assert silhouette_coefficient(pos, neg) > 0.9
+
+    def test_overlapping_clusters_score_low(self, rng):
+        pos = rng.normal(size=50)
+        neg = rng.normal(size=200)
+        assert silhouette_coefficient(pos, neg) < 0.3
+
+    def test_empty_cluster_scores_zero(self):
+        assert silhouette_coefficient(np.array([]), np.array([1.0])) == 0.0
+        assert silhouette_coefficient(np.array([1.0]), np.array([])) == 0.0
+
+    def test_singleton_positive(self):
+        score = silhouette_coefficient(np.array([5.0]), np.array([0.0, 0.1]))
+        assert 0.0 < score <= 1.0
+
+    def test_more_separation_scores_higher(self, rng):
+        neg = rng.normal(size=100)
+        near = rng.normal(loc=1.0, scale=0.5, size=40)
+        far = rng.normal(loc=6.0, scale=0.5, size=40)
+        assert silhouette_coefficient(far, neg) > silhouette_coefficient(near, neg)
+
+    def test_subsampling_stable(self, rng):
+        pos = rng.normal(loc=4.0, size=5000)
+        neg = rng.normal(size=5000)
+        a = silhouette_coefficient(pos, neg, max_samples=128, seed=0)
+        b = silhouette_coefficient(pos, neg, max_samples=512, seed=1)
+        assert abs(a - b) < 0.1
+
+    def test_matches_bruteforce_definition(self, rng):
+        pos = rng.normal(loc=2.0, size=8)
+        neg = rng.normal(size=11)
+        fast = silhouette_coefficient(pos, neg)
+        scores = []
+        for value in pos:
+            others = pos[pos != value]
+            a = np.abs(others - value).mean() if len(others) else 0.0
+            b = np.abs(neg - value).mean()
+            scores.append((b - a) / max(a, b))
+        assert np.isclose(fast, np.mean(scores), atol=1e-9)
+
+
+class TestIndexOrder:
+    def test_descending(self):
+        order = index_order_by_silhouette(np.array([0.1, 0.9, 0.5]))
+        assert order.tolist() == [1, 2, 0]
+
+    def test_ascending_option(self):
+        order = index_order_by_silhouette(
+            np.array([0.1, 0.9, 0.5]), descending=False
+        )
+        assert order.tolist() == [0, 2, 1]
+
+    def test_stable_for_ties(self):
+        order = index_order_by_silhouette(np.array([0.5, 0.5, 0.5]))
+        assert order.tolist() == [0, 1, 2]
+
+    def test_permutation_property(self, rng):
+        s = rng.random(20)
+        order = index_order_by_silhouette(s)
+        assert sorted(order.tolist()) == list(range(20))

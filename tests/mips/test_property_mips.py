@@ -1,0 +1,59 @@
+"""Hypothesis property tests on the MIPS engines."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mips import ExactMips, fit_threshold_model
+from repro.mips.thresholding import InferenceThresholding
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    rows=st.integers(min_value=2, max_value=30),
+    dim=st.integers(min_value=1, max_value=10),
+)
+def test_exact_matches_numpy_argmax(seed, rows, dim):
+    rng = np.random.default_rng(seed)
+    weight = rng.normal(size=(rows, dim))
+    query = rng.normal(size=dim)
+    result = ExactMips(weight).search(query)
+    assert result.label == int(np.argmax(weight @ query))
+    assert result.comparisons == rows
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_ith_never_beats_exact_on_comparisons_upper_bound(seed):
+    """ITH visits at most |I| indices and at least 1."""
+    rng = np.random.default_rng(seed)
+    n, d = 12, 5
+    logits = rng.normal(size=(50, n)) + 3 * np.eye(n)[rng.integers(0, n, 50)]
+    labels = logits.argmax(axis=1)
+    tm = fit_threshold_model(logits, labels)
+    weight = rng.normal(size=(n, d))
+    engine = InferenceThresholding(weight, tm, rho=1.0)
+    for q in rng.normal(size=(20, d)):
+        r = engine.search(q)
+        assert 1 <= r.comparisons <= n
+        assert 0 <= r.label < n
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    rho=st.floats(min_value=0.5, max_value=1.0),
+)
+def test_threshold_model_invariants(seed, rho):
+    rng = np.random.default_rng(seed)
+    n = 8
+    logits = rng.normal(size=(60, n)) + 4 * np.eye(n)[rng.integers(0, n, 60)]
+    labels = logits.argmax(axis=1)
+    tm = fit_threshold_model(logits, labels)
+    theta = tm.thresholds(rho)
+    assert theta.shape == (n,)
+    # Thresholds are either finite (learnable index) or +inf (unseen).
+    assert np.all((theta > -np.inf))
+    assert sorted(tm.order.tolist()) == list(range(n))
+    assert np.all(tm.silhouettes >= -1.0) and np.all(tm.silhouettes <= 1.0)

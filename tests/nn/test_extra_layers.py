@@ -1,0 +1,82 @@
+"""Tests for Dropout and LayerNorm."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Dropout, LayerNorm, Tensor, gradcheck
+
+
+class TestDropout:
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+    def test_identity_in_eval_mode(self, rng):
+        layer = Dropout(0.5)
+        layer.eval()
+        x = Tensor(rng.normal(size=(4, 5)))
+        assert np.array_equal(layer(x).data, x.data)
+
+    def test_identity_at_p_zero(self, rng):
+        layer = Dropout(0.0)
+        x = Tensor(rng.normal(size=(4, 5)))
+        assert np.array_equal(layer(x).data, x.data)
+
+    def test_zeroes_and_scales_in_train_mode(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100, 100)))
+        out = layer(x).data
+        # Surviving activations are scaled by 1/keep.
+        assert set(np.unique(out)).issubset({0.0, 2.0})
+        # Expected mean preserved.
+        assert abs(out.mean() - 1.0) < 0.05
+
+    def test_gradient_masks_match_forward(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(1))
+        x = Tensor(np.ones((10, 10)), requires_grad=True)
+        out = layer(x)
+        out.sum().backward()
+        # Gradient is exactly the forward mask.
+        assert np.array_equal(x.grad, out.data)
+
+
+class TestLayerNorm:
+    def test_dim_validated(self):
+        with pytest.raises(ValueError):
+            LayerNorm(0)
+
+    def test_normalises_last_axis(self, rng):
+        layer = LayerNorm(8)
+        x = Tensor(rng.normal(loc=5.0, scale=3.0, size=(6, 8)))
+        out = layer(x).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gain_bias_applied(self, rng):
+        layer = LayerNorm(4)
+        layer.gain.data[...] = 2.0
+        layer.bias.data[...] = 1.0
+        x = Tensor(rng.normal(size=(3, 4)))
+        out = layer(x).data
+        assert np.allclose(out.mean(axis=-1), 1.0, atol=1e-6)
+
+    def test_parameters_discovered(self):
+        assert len(LayerNorm(4).parameters()) == 2
+
+    def test_gradcheck(self, rng):
+        layer = LayerNorm(5)
+        w = rng.normal(size=(2, 5))
+        gradcheck(
+            lambda x: (layer(x) * Tensor(w)).sum(),
+            rng.normal(size=(2, 5)),
+        )
+
+    def test_gradients_reach_gain_and_bias(self, rng):
+        layer = LayerNorm(4)
+        out = layer(Tensor(rng.normal(size=(3, 4)), requires_grad=True))
+        out.sum().backward()
+        assert layer.gain.grad is not None
+        assert layer.bias.grad is not None

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.tasks == list(range(1, 21))
+        assert args.n_train == 150
+
+    def test_custom_task_list(self):
+        args = build_parser().parse_args(["fig3", "--tasks", "1", "2"])
+        assert args.tasks == [1, 2]
+
+    def test_resources_arguments(self):
+        args = build_parser().parse_args(["resources", "--vocab", "99"])
+        assert args.vocab == 99
+
+
+class TestCommands:
+    def test_tasks_listing(self, capsys):
+        assert main(["tasks"]) == 0
+        out = capsys.readouterr().out
+        assert "single supporting fact" in out
+        assert "path finding" in out
+
+    def test_resources_report(self, capsys):
+        assert main(["resources", "--vocab", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "LUT" in out
+        assert "fits on the device" in out
+
+    def test_table1_small_run(self, capsys):
+        code = main(
+            [
+                "table1",
+                "--tasks", "1",
+                "--n-train", "30",
+                "--n-test", "10",
+                "--epochs", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FPGA 100 MHz" in out
+        assert "ITH inference-time reduction" in out
+
+    def test_ablation_small_run(self, capsys):
+        code = main(
+            [
+                "ablation",
+                "--tasks", "1",
+                "--n-train", "30",
+                "--n-test", "10",
+                "--epochs", "5",
+            ]
+        )
+        assert code == 0
+        assert "interface removed" in capsys.readouterr().out
+
+    def test_sweep_frequency(self, capsys):
+        assert main(["sweep", "--kind", "frequency"]) == 0
+        assert "Clock sweep" in capsys.readouterr().out
+
+    def test_sweep_width(self, capsys):
+        assert main(["sweep", "--kind", "width"]) == 0
+        out = capsys.readouterr().out
+        assert "Model-width sweep" in out
+        assert "DSP util" in out
+
+    def test_sweep_interface(self, capsys):
+        assert main(["sweep", "--kind", "interface"]) == 0
+        assert "Interface-latency sweep" in capsys.readouterr().out

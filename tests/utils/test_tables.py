@@ -1,0 +1,57 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import TextTable, format_float, format_ratio
+
+
+class TestFormatters:
+    def test_format_float(self):
+        assert format_float(3.14159, 2) == "3.14"
+
+    def test_format_float_none(self):
+        assert format_float(None) == "-"
+
+    def test_format_ratio(self):
+        assert format_ratio(126.72) == "126.72x"
+
+    def test_format_ratio_none(self):
+        assert format_ratio(None) == "-"
+
+    def test_format_float_digits(self):
+        assert format_float(1.0, 4) == "1.0000"
+
+
+class TestTextTable:
+    def test_render_contains_headers_and_rows(self):
+        table = TextTable(["config", "time"], title="demo")
+        table.add_row(["GPU", "226.90"])
+        text = table.render()
+        assert "demo" in text
+        assert "config" in text
+        assert "GPU" in text
+        assert "226.90" in text
+
+    def test_row_length_mismatch_rejected(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(["only one"])
+
+    def test_column_alignment(self):
+        table = TextTable(["name", "x"])
+        table.add_row(["aa", "1"])
+        table.add_row(["bbbb", "2"])
+        lines = table.render().splitlines()
+        # All data lines have the separator at the same position.
+        positions = {line.index("|") for line in lines if "|" in line}
+        assert len(positions) == 1
+
+    def test_non_string_cells_coerced(self):
+        table = TextTable(["n"])
+        table.add_row([42])
+        assert "42" in table.render()
+
+    def test_no_title(self):
+        table = TextTable(["h"])
+        table.add_row(["v"])
+        assert table.render().splitlines()[0].startswith("h")
