@@ -11,8 +11,6 @@ number of |E|-wide dot products each method spends per query.
 
 import argparse
 
-import numpy as np
-
 from repro.eval.suite import BabiSuite, SuiteConfig
 from repro.mips import (
     AlshMips,
@@ -56,16 +54,9 @@ def main() -> None:
         agree = correct = total = comparisons = 0
         for system in suite.tasks.values():
             batch = system.test_batch
-            queries = np.stack(
-                [
-                    system.engine.forward_trace(
-                        batch.stories[i],
-                        batch.questions[i],
-                        int(batch.story_lengths[i]),
-                    ).h_final
-                    for i in range(len(batch))
-                ]
-            )
+            queries = system.batch_engine.forward_trace(
+                batch.stories, batch.questions, batch.story_lengths
+            ).h_final
             exact = ExactMips(system.weights.w_o)
             engine = factory(system)
             for query, answer in zip(queries, batch.answers):

@@ -70,15 +70,10 @@ class Fig3Result:
 def _queries_and_answers(system: TaskSystem) -> tuple[np.ndarray, np.ndarray]:
     """Final controller outputs h_T and true labels of a task's test set."""
     batch = system.test_batch
-    queries = np.stack(
-        [
-            system.engine.forward_trace(
-                batch.stories[i], batch.questions[i], int(batch.story_lengths[i])
-            ).h_final
-            for i in range(len(batch))
-        ]
+    trace = system.batch_engine.forward_trace(
+        batch.stories, batch.questions, batch.story_lengths
     )
-    return queries, batch.answers
+    return trace.h_final, batch.answers
 
 
 def run_fig3(

@@ -18,6 +18,7 @@ from repro.babi.dataset import BabiDataset, EncodedBatch
 from repro.babi.story import QAExample
 from repro.babi.tasks import all_task_ids, get_generator
 from repro.babi.vocab import Vocab
+from repro.mann.batch import BatchInferenceEngine
 from repro.mann.config import MannConfig
 from repro.mann.inference import InferenceEngine
 from repro.mann.trainer import Trainer, TrainResult
@@ -59,6 +60,7 @@ class TaskSystem:
     test_batch: EncodedBatch
     weights: MannWeights
     engine: InferenceEngine
+    batch_engine: BatchInferenceEngine
     threshold_model: ThresholdModel
     train_result: TrainResult
     train_logits: np.ndarray
@@ -151,7 +153,8 @@ def _build_task_system(
 
     weights = model.export_weights()
     engine = InferenceEngine(weights)
-    train_logits = engine.logits_batch(
+    batch_engine = engine.batch
+    train_logits = batch_engine.logits(
         train_batch.stories, train_batch.questions, train_batch.story_lengths
     )
     threshold_model = fit_threshold_model(train_logits, train_batch.answers)
@@ -163,6 +166,7 @@ def _build_task_system(
         test_batch=test_batch,
         weights=weights,
         engine=engine,
+        batch_engine=batch_engine,
         threshold_model=threshold_model,
         train_result=result,
         train_logits=train_logits,

@@ -8,6 +8,7 @@ pure-numpy golden engine that records every intermediate value so the
 hardware simulator can be co-simulated against it.
 """
 
+from repro.mann.batch import BatchInferenceEngine, BatchTrace
 from repro.mann.config import MannConfig
 from repro.mann.inference import InferenceEngine, InferenceTrace
 from repro.mann.model import MemoryNetwork
@@ -26,6 +27,8 @@ __all__ = [
     "MannWeights",
     "InferenceEngine",
     "InferenceTrace",
+    "BatchInferenceEngine",
+    "BatchTrace",
     "Trainer",
     "TrainResult",
     "train_task_model",

@@ -1,0 +1,234 @@
+"""Vectorised batch inference engine for the MANN (Eqs. 1-6).
+
+Runs the full forward pass over a whole encoded batch in pure numpy
+tensor ops — masked bag-of-words embedding of every story and question
+at once, length-masked softmax attention across all examples per hop,
+and a single ``(B, V)`` output projection — with no per-example Python
+loop. Results are ``np.allclose``-equal to the per-example golden
+engine (:meth:`repro.mann.inference.InferenceEngine.forward_trace`),
+which stays the bit-exact per-example reference the hardware simulator
+is co-simulated against; this engine is the fast host-side path that
+the evaluation suite, thresholding fits and benchmarks run on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mann.weights import MannWeights
+
+
+@dataclass
+class BatchTrace:
+    """Stacked intermediates of a whole batch's forward pass.
+
+    Shapes: B = batch, L = memory slots, E = embed dim, V = vocab,
+    T = hops. Slots at or beyond an example's story length hold
+    all-zero memory rows, ``-inf`` attention scores and exactly zero
+    attention mass, so per-example views can simply be sliced with
+    ``lengths[b]``.
+    """
+
+    mem_a: np.ndarray  # (B, L, E) address memory after write
+    mem_c: np.ndarray  # (B, L, E) content memory after write
+    slot_mask: np.ndarray  # (B, L) bool, True on real sentences
+    keys: list[np.ndarray] = field(default_factory=list)  # T x (B, E)
+    scores: list[np.ndarray] = field(default_factory=list)  # T x (B, L)
+    attentions: list[np.ndarray] = field(default_factory=list)  # T x (B, L)
+    reads: list[np.ndarray] = field(default_factory=list)  # T x (B, E)
+    controller_outputs: list[np.ndarray] = field(default_factory=list)  # T x (B, E)
+    logits: np.ndarray | None = None  # (B, V)
+    predictions: np.ndarray | None = None  # (B,) int64
+
+    def __len__(self) -> int:
+        return self.mem_a.shape[0]
+
+    @property
+    def h_final(self) -> np.ndarray:
+        """Final controller outputs h_T, shape (B, E)."""
+        return self.controller_outputs[-1]
+
+
+class BatchInferenceEngine:
+    """Vectorised Eqs. 1-6 on frozen weights, a whole batch at a time.
+
+    Padding is handled by masks rather than by trusting the trained
+    pad row: word index 0 contributes nothing to any embedding (Eq. 2)
+    even when the embedding matrices have a non-zero row 0, and
+    attention mass beyond a story's real length is exactly zero —
+    matching the golden engine, which writes exactly one memory element
+    per streamed sentence.
+    """
+
+    def __init__(self, weights: MannWeights):
+        self.weights = weights
+        self.config = weights.config
+        # Weights are a frozen snapshot, so the pad-zeroed gather
+        # matrices are prepared once: columns [:E] of ``_w_emb_ac`` are
+        # the address embedding, [E:] the content embedding.
+        self._w_emb_ac = np.concatenate([weights.w_emb_a, weights.w_emb_c], axis=1)
+        self._w_emb_ac[0] = 0
+        self._w_emb_q = weights.w_emb_q.copy()
+        self._w_emb_q[0] = 0
+
+    # -- write path ----------------------------------------------------
+    @staticmethod
+    def embed_sentences(word_indices: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+        """Masked bag-of-words embedding (Eq. 2) of ``(..., W)`` indices.
+
+        Returns ``(..., E)`` sums of the non-pad embedding rows, in the
+        embedding matrix's dtype. Pad positions (index 0) are masked
+        out instead of relying on a zeroed pad row.
+        """
+        idx = np.asarray(word_indices, dtype=np.int64)
+        mask = (idx != 0).astype(matrix.dtype)
+        return (matrix[idx] * mask[..., None]).sum(axis=-2)
+
+    def write_memory(
+        self, stories: np.ndarray, lengths: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Embed every story of the batch into address/content memories.
+
+        Returns ``(mem_a, mem_c, slot_mask)`` with memories of shape
+        (B, L, E); rows of pad slots are exactly zero.
+        """
+        w = self.weights
+        slots = stories.shape[1]
+        embed = self.config.embed_dim
+        slot_mask = np.arange(slots)[None, :] < lengths[:, None]  # (B, L)
+        m = slot_mask[:, :, None]
+        # One fused gather serves both memories; pad tokens gather the
+        # zeroed row and contribute nothing.
+        bow = self._w_emb_ac[stories].sum(axis=2)  # (B, L, 2E)
+        mem_a = (bow[..., :embed] + w.t_a[:slots]) * m
+        mem_c = (bow[..., embed:] + w.t_c[:slots]) * m
+        return mem_a, mem_c, slot_mask
+
+    # -- read path -----------------------------------------------------
+    @staticmethod
+    def attention(
+        mem_a: np.ndarray, keys: np.ndarray, slot_mask: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Content-based addressing (Eq. 1) for the whole batch.
+
+        Returns ``(scores, weights)`` of shape (B, L); masked slots get
+        a score of ``-inf`` and exactly zero attention weight, so the
+        softmax normalises over each example's real sentences only.
+        """
+        scores = (mem_a @ keys[:, :, None])[:, :, 0]  # (B, L)
+        scores = np.where(slot_mask, scores, -np.inf)
+        shifted = scores - scores.max(axis=1, keepdims=True)
+        exps = np.exp(shifted)  # exp(-inf) == 0: pad slots drop out
+        return scores, exps / exps.sum(axis=1, keepdims=True)
+
+    # -- forward -------------------------------------------------------
+    def _resolve_lengths(
+        self, stories: np.ndarray, lengths: np.ndarray | None
+    ) -> np.ndarray:
+        batch, slots, _ = stories.shape
+        if lengths is None:
+            # Per-example index of the last non-pad sentence + 1, with
+            # fully-empty stories occupying one (all-pad) slot — the
+            # same inference the golden engine applies per example.
+            nonpad = stories.any(axis=2)  # (B, L)
+            last = slots - np.argmax(nonpad[:, ::-1], axis=1)
+            return np.where(nonpad.any(axis=1), last, 1).astype(np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if lengths.shape != (batch,):
+            raise ValueError(
+                f"lengths has shape {lengths.shape}, expected ({batch},)"
+            )
+        if np.any((lengths < 1) | (lengths > slots)):
+            raise ValueError(f"story lengths outside [1, {slots}]")
+        return lengths
+
+    def _forward(
+        self,
+        stories: np.ndarray,
+        questions: np.ndarray,
+        lengths: np.ndarray | None,
+        record: bool,
+    ) -> tuple[np.ndarray, BatchTrace | None]:
+        w = self.weights
+        stories = np.asarray(stories, dtype=np.int64)
+        questions = np.asarray(questions, dtype=np.int64)
+        if stories.ndim != 3:
+            raise ValueError(f"stories must be 3-D, got shape {stories.shape}")
+        if questions.ndim != 2:
+            raise ValueError(f"questions must be 2-D, got shape {questions.shape}")
+        if len(questions) != len(stories):
+            raise ValueError("stories and questions must have the same length")
+        if stories.shape[1] > self.config.memory_size:
+            raise ValueError(
+                f"stories have {stories.shape[1]} slots, engine supports "
+                f"at most {self.config.memory_size}"
+            )
+        lengths = self._resolve_lengths(stories, lengths)
+
+        mem_a, mem_c, slot_mask = self.write_memory(stories, lengths)
+        trace = (
+            BatchTrace(mem_a=mem_a, mem_c=mem_c, slot_mask=slot_mask)
+            if record
+            else None
+        )
+
+        key = self._w_emb_q[questions].sum(axis=1)  # Eq. 3, t=1: (B, E)
+        h = key
+        for _ in range(self.config.hops):
+            scores, attention = self.attention(mem_a, key, slot_mask)  # Eq. 1
+            read = (attention[:, None, :] @ mem_c)[:, 0, :]  # Eq. 5: (B, E)
+            h = read + key @ w.w_r  # Eq. 4
+            if trace is not None:
+                trace.keys.append(key)
+                trace.scores.append(scores)
+                trace.attentions.append(attention)
+                trace.reads.append(read)
+                trace.controller_outputs.append(h)
+            key = h  # Eq. 3, t > 1
+
+        logits = h @ w.w_o.T  # Eq. 6: (B, V)
+        if trace is not None:
+            trace.logits = logits
+            trace.predictions = np.argmax(logits, axis=1)
+        return logits, trace
+
+    def forward_trace(
+        self,
+        stories: np.ndarray,
+        questions: np.ndarray,
+        lengths: np.ndarray | None = None,
+    ) -> BatchTrace:
+        """Forward pass of the whole batch recording every intermediate."""
+        _, trace = self._forward(stories, questions, lengths, record=True)
+        return trace
+
+    def logits(
+        self,
+        stories: np.ndarray,
+        questions: np.ndarray,
+        lengths: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Logit matrix (B, V) without recording intermediates."""
+        logits, _ = self._forward(stories, questions, lengths, record=False)
+        return logits
+
+    def predict(
+        self,
+        stories: np.ndarray,
+        questions: np.ndarray,
+        lengths: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Greedy predictions (B,) for the whole batch."""
+        return np.argmax(self.logits(stories, questions, lengths), axis=1)
+
+    def accuracy(
+        self,
+        stories: np.ndarray,
+        questions: np.ndarray,
+        answers: np.ndarray,
+        lengths: np.ndarray | None = None,
+    ) -> float:
+        preds = self.predict(stories, questions, lengths)
+        return float((preds == np.asarray(answers)).mean())

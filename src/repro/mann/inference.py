@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.mann.batch import BatchInferenceEngine
 from repro.mann.weights import MannWeights
 
 
@@ -49,6 +50,14 @@ class InferenceEngine:
     def __init__(self, weights: MannWeights):
         self.weights = weights
         self.config = weights.config
+        self._batch: BatchInferenceEngine | None = None
+
+    @property
+    def batch(self) -> BatchInferenceEngine:
+        """Vectorised engine over the same weights (built on demand)."""
+        if self._batch is None:
+            self._batch = BatchInferenceEngine(self.weights)
+        return self._batch
 
     # -- write path ----------------------------------------------------
     def embed_sentence(self, word_indices: np.ndarray, matrix: np.ndarray) -> np.ndarray:
@@ -56,7 +65,7 @@ class InferenceEngine:
         idx = np.asarray(word_indices, dtype=np.int64)
         idx = idx[idx != 0]
         if idx.size == 0:
-            return np.zeros(matrix.shape[1])
+            return np.zeros(matrix.shape[1], dtype=matrix.dtype)
         return matrix[idx].sum(axis=0)
 
     def write_memory(
@@ -117,22 +126,16 @@ class InferenceEngine:
         return trace
 
     # -- batch helpers ---------------------------------------------------
+    # All whole-batch entry points delegate to the vectorised
+    # BatchInferenceEngine, which is np.allclose-parity-tested against
+    # forward_trace (tests/mann/test_batch_parity.py).
     def predict(self, stories: np.ndarray, questions: np.ndarray, lengths: np.ndarray | None = None) -> np.ndarray:
         """Vectorised predictions (no trace) for a whole encoded batch."""
-        preds = np.zeros(len(stories), dtype=np.int64)
-        for i in range(len(stories)):
-            n = int(lengths[i]) if lengths is not None else None
-            preds[i] = self.forward_trace(stories[i], questions[i], n).prediction
-        return preds
+        return self.batch.predict(stories, questions, lengths)
 
     def logits_batch(self, stories: np.ndarray, questions: np.ndarray, lengths: np.ndarray | None = None) -> np.ndarray:
         """Logit matrix (B, V) across a batch (used to fit thresholds)."""
-        out = np.zeros((len(stories), self.config.vocab_size))
-        for i in range(len(stories)):
-            n = int(lengths[i]) if lengths is not None else None
-            out[i] = self.forward_trace(stories[i], questions[i], n).logits
-        return out
+        return self.batch.logits(stories, questions, lengths)
 
     def accuracy(self, stories, questions, answers, lengths=None) -> float:
-        preds = self.predict(stories, questions, lengths)
-        return float((preds == np.asarray(answers)).mean())
+        return self.batch.accuracy(stories, questions, answers, lengths)

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro import nn
 from repro.babi.dataset import BabiDataset, EncodedBatch
+from repro.mann.batch import BatchInferenceEngine
 from repro.mann.config import MannConfig
 from repro.mann.model import MemoryNetwork
 from repro.utils.rng import new_rng
@@ -84,7 +85,13 @@ class Trainer:
         return float(np.mean(losses))
 
     def evaluate(self, batch: EncodedBatch) -> float:
-        preds = self.model.predict(
+        """Accuracy on a batch via the vectorised inference engine.
+
+        Evaluating through the frozen-weight batch engine (rather than
+        the autograd graph) exercises exactly the path deployment uses.
+        """
+        engine = BatchInferenceEngine(self.model.export_weights())
+        preds = engine.predict(
             batch.stories, batch.questions, batch.story_lengths
         )
         return float((preds == batch.answers).mean())

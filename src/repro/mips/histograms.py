@@ -45,8 +45,13 @@ class LogitHistogram:
         self.counts[self.bin_index(value)] += 1
 
     def update_many(self, values: np.ndarray) -> None:
-        for v in np.asarray(values, dtype=np.float64).ravel():
-            self.update(float(v))
+        """Vectorised bulk update; equivalent to ``update`` per value."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        idx = np.searchsorted(self.edges, values, side="right") - 1
+        np.clip(idx, 0, self.n_bins - 1, out=idx)
+        self.counts += np.bincount(idx, minlength=self.n_bins)
 
     def pdf(self, value: float) -> float:
         """Density estimate at ``value`` (0 when the histogram is empty)."""

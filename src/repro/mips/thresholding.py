@@ -122,6 +122,8 @@ def fit_threshold_model(
     if len(labels) != len(logits):
         raise ValueError("labels and logits must have the same length")
     n, n_indices = logits.shape
+    if labels.size and (labels.min() < 0 or labels.max() >= n_indices):
+        raise ValueError(f"labels must lie in [0, {n_indices})")
 
     low = float(logits.min())
     high = float(logits.max())
@@ -130,50 +132,51 @@ def fit_threshold_model(
 
     positive_hists: dict[int, LogitHistogram] = {}
     negative_hists: dict[int, LogitHistogram] = {}
-    positive_samples: dict[int, list[float]] = {}
-    negative_samples: dict[int, list[float]] = {}
-    prior_counts = np.zeros(n_indices)
+    positive_samples: dict[int, np.ndarray] = {}
+    negative_samples: dict[int, np.ndarray] = {}
+    prior_counts = np.bincount(labels, minlength=n_indices).astype(np.float64)
 
-    predictions = logits.argmax(axis=1)
-    for row, (pred, label) in enumerate(zip(predictions, labels)):
-        prior_counts[label] += 1
-        if pred != label:
-            continue  # Algorithm 1 only learns from correct predictions
-        for index in range(n_indices):
-            value = float(logits[row, index])
-            if index == label:
-                hist = positive_hists.setdefault(
-                    index, LogitHistogram(low, high, n_bins)
-                )
-                hist.update(value)
-                positive_samples.setdefault(index, []).append(value)
-            else:
-                hist = negative_hists.setdefault(
-                    index, LogitHistogram(low, high, n_bins)
-                )
-                hist.update(value)
-                negative_samples.setdefault(index, []).append(value)
+    # Algorithm 1 only learns from correct predictions. The statistics
+    # are split per index with boolean masks over the whole (batched)
+    # logit matrix rather than a per-row Python loop.
+    correct = logits.argmax(axis=1) == labels
+    correct_logits = logits[correct]
+    correct_labels = labels[correct]
+    for index in range(n_indices):
+        column = correct_logits[:, index]
+        is_positive = correct_labels == index
+        positives = column[is_positive]
+        negatives = column[~is_positive]
+        if positives.size:
+            hist = LogitHistogram(low, high, n_bins)
+            hist.update_many(positives)
+            positive_hists[index] = hist
+            positive_samples[index] = positives
+        if negatives.size:
+            hist = LogitHistogram(low, high, n_bins)
+            hist.update_many(negatives)
+            negative_hists[index] = hist
+            negative_samples[index] = negatives
 
     priors = prior_counts / max(n, 1)
     silhouettes = np.zeros(n_indices)
+    empty = np.empty(0)
     for index in range(n_indices):
         silhouettes[index] = silhouette_coefficient(
-            np.array(positive_samples.get(index, [])),
-            np.array(negative_samples.get(index, [])),
+            positive_samples.get(index, empty),
+            negative_samples.get(index, empty),
         )
     order = index_order_by_silhouette(silhouettes)
 
     positive_kdes = negative_kdes = None
     if density == "kde":
         positive_kdes = {
-            index: GaussianKde(np.array(samples))
+            index: GaussianKde(samples)
             for index, samples in positive_samples.items()
-            if samples
         }
         negative_kdes = {
-            index: GaussianKde(np.array(samples))
+            index: GaussianKde(samples)
             for index, samples in negative_samples.items()
-            if samples
         }
     return ThresholdModel(
         n_indices=n_indices,

@@ -1,0 +1,259 @@
+"""Golden-parity property tests for the vectorised batch engine.
+
+The batch engine must reproduce the per-example golden engine
+(`forward_trace`) on arbitrary weights and ragged batches — including
+weights whose pad embedding row is NOT zero, stories with interior
+all-pad sentences, single-sentence stories and all-pad questions — to
+within float tolerance, across many random seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mann import (
+    BatchInferenceEngine,
+    InferenceEngine,
+    MannConfig,
+    MannWeights,
+)
+
+ATOL = 1e-10
+
+
+def random_weights(
+    rng: np.random.Generator,
+    vocab: int = 13,
+    embed: int = 6,
+    memory: int = 5,
+    hops: int = 3,
+    dtype=np.float64,
+) -> MannWeights:
+    """Dense random weights — deliberately without a zeroed pad row."""
+    config = MannConfig(
+        vocab_size=vocab, embed_dim=embed, memory_size=memory, hops=hops
+    )
+
+    def m(*shape):
+        return rng.normal(0.0, 1.0, size=shape).astype(dtype)
+
+    return MannWeights(
+        config=config,
+        w_emb_a=m(vocab, embed),
+        w_emb_c=m(vocab, embed),
+        w_emb_q=m(vocab, embed),
+        w_r=m(embed, embed),
+        w_o=m(vocab, embed),
+        t_a=m(memory, embed),
+        t_c=m(memory, embed),
+    )
+
+
+def random_batch(
+    rng: np.random.Generator,
+    vocab: int = 13,
+    memory: int = 5,
+    sentence_len: int = 4,
+    batch: int = 12,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Ragged stories: random lengths, random interior pads."""
+    stories = rng.integers(1, vocab, size=(batch, memory, sentence_len))
+    questions = rng.integers(1, vocab, size=(batch, sentence_len))
+    lengths = rng.integers(1, memory + 1, size=batch)
+    # Zero everything past each story's length and sprinkle pad tokens
+    # inside real sentences (including some fully-pad sentences).
+    slot_mask = np.arange(memory)[None, :] < lengths[:, None]
+    stories *= slot_mask[:, :, None]
+    stories[rng.random(stories.shape) < 0.25] = 0
+    questions[rng.random(questions.shape) < 0.25] = 0
+    return stories.astype(np.int64), questions.astype(np.int64), lengths
+
+
+def golden_stack(engine: InferenceEngine, stories, questions, lengths):
+    """Per-example forward_trace results stacked the seed way."""
+    logits, preds, h_final = [], [], []
+    for i in range(len(stories)):
+        trace = engine.forward_trace(stories[i], questions[i], int(lengths[i]))
+        logits.append(trace.logits)
+        preds.append(trace.prediction)
+        h_final.append(trace.h_final)
+    return np.stack(logits), np.array(preds), np.stack(h_final)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_batch_matches_golden_on_ragged_batches(seed):
+    rng = np.random.default_rng(seed)
+    weights = random_weights(rng)
+    stories, questions, lengths = random_batch(rng)
+    golden = InferenceEngine(weights)
+    batch = BatchInferenceEngine(weights)
+
+    g_logits, g_preds, g_h = golden_stack(golden, stories, questions, lengths)
+    b_logits = batch.logits(stories, questions, lengths)
+    b_preds = batch.predict(stories, questions, lengths)
+    trace = batch.forward_trace(stories, questions, lengths)
+
+    assert np.allclose(b_logits, g_logits, atol=ATOL)
+    assert np.array_equal(b_preds, g_preds)
+    assert np.allclose(trace.h_final, g_h, atol=ATOL)
+    assert np.allclose(trace.logits, b_logits, atol=ATOL)
+    assert np.array_equal(trace.predictions, b_preds)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_batch_trace_intermediates_match_golden(seed):
+    rng = np.random.default_rng(100 + seed)
+    weights = random_weights(rng, hops=2)
+    stories, questions, lengths = random_batch(rng)
+    golden = InferenceEngine(weights)
+    trace = BatchInferenceEngine(weights).forward_trace(
+        stories, questions, lengths
+    )
+
+    for i in range(len(stories)):
+        n = int(lengths[i])
+        g = golden.forward_trace(stories[i], questions[i], n)
+        assert np.allclose(trace.mem_a[i, :n], g.mem_a, atol=ATOL)
+        assert np.allclose(trace.mem_c[i, :n], g.mem_c, atol=ATOL)
+        # Pad slots carry zero memory rows and zero attention mass.
+        assert np.all(trace.mem_a[i, n:] == 0)
+        assert np.all(trace.mem_c[i, n:] == 0)
+        for t in range(weights.config.hops):
+            assert np.allclose(trace.keys[t][i], g.keys[t], atol=ATOL)
+            assert np.allclose(trace.scores[t][i, :n], g.scores[t], atol=ATOL)
+            assert np.all(np.isneginf(trace.scores[t][i, n:]))
+            assert np.allclose(
+                trace.attentions[t][i, :n], g.attentions[t], atol=ATOL
+            )
+            assert np.all(trace.attentions[t][i, n:] == 0)
+            assert np.isclose(trace.attentions[t][i].sum(), 1.0)
+            assert np.allclose(trace.reads[t][i], g.reads[t], atol=ATOL)
+            assert np.allclose(
+                trace.controller_outputs[t][i], g.controller_outputs[t],
+                atol=ATOL,
+            )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_inferred_lengths_match_golden_inference(seed):
+    """With lengths omitted, both engines infer per-example lengths."""
+    rng = np.random.default_rng(200 + seed)
+    weights = random_weights(rng)
+    stories, questions, lengths = random_batch(rng)
+    golden = InferenceEngine(weights)
+    batch = BatchInferenceEngine(weights)
+
+    g_logits = np.stack(
+        [
+            golden.forward_trace(stories[i], questions[i]).logits
+            for i in range(len(stories))
+        ]
+    )
+    assert np.allclose(batch.logits(stories, questions), g_logits, atol=ATOL)
+
+
+def test_degenerate_cases_match_golden():
+    rng = np.random.default_rng(7)
+    weights = random_weights(rng, memory=4)
+    golden = InferenceEngine(weights)
+    batch = BatchInferenceEngine(weights)
+
+    memory, width = 4, 4
+    one_sentence = np.zeros((memory, width), dtype=np.int64)
+    one_sentence[0] = [3, 0, 5, 1]
+    all_pad_story = np.zeros((memory, width), dtype=np.int64)
+    full_story = rng.integers(1, 13, size=(memory, width))
+    stories = np.stack([one_sentence, all_pad_story, full_story])
+    questions = np.array(
+        [[2, 4, 0, 0], [0, 0, 0, 0], [7, 7, 7, 7]], dtype=np.int64
+    )
+    lengths = np.array([1, 1, memory])
+
+    g_logits, g_preds, _ = golden_stack(golden, stories, questions, lengths)
+    assert np.allclose(
+        batch.logits(stories, questions, lengths), g_logits, atol=ATOL
+    )
+    assert np.array_equal(batch.predict(stories, questions, lengths), g_preds)
+
+    # A single-example batch degenerates cleanly too.
+    assert np.allclose(
+        batch.logits(stories[:1], questions[:1], lengths[:1]),
+        g_logits[:1],
+        atol=ATOL,
+    )
+
+
+def test_batch_validates_inputs():
+    rng = np.random.default_rng(0)
+    weights = random_weights(rng, memory=5)
+    batch = BatchInferenceEngine(weights)
+    stories = np.ones((2, 5, 4), dtype=np.int64)
+    questions = np.ones((2, 4), dtype=np.int64)
+
+    with pytest.raises(ValueError):
+        batch.logits(stories[0], questions)  # 2-D stories
+    with pytest.raises(ValueError):
+        batch.logits(stories, questions[0])  # 1-D questions
+    with pytest.raises(ValueError):
+        batch.logits(stories, questions, np.array([0, 3]))  # length < 1
+    with pytest.raises(ValueError):
+        batch.logits(stories, questions, np.array([6, 3]))  # length > L
+    with pytest.raises(ValueError):
+        batch.logits(stories, questions, np.array([3]))  # wrong shape
+    with pytest.raises(ValueError):
+        batch.logits(np.ones((2, 9, 4), dtype=np.int64), questions)  # L > mem
+
+
+def test_engine_batch_helpers_delegate_to_batch_engine():
+    """InferenceEngine.predict/logits_batch/accuracy run the batch path."""
+    rng = np.random.default_rng(3)
+    weights = random_weights(rng)
+    stories, questions, lengths = random_batch(rng, batch=6)
+    engine = InferenceEngine(weights)
+
+    assert isinstance(engine.batch, BatchInferenceEngine)
+    assert engine.batch is engine.batch  # cached
+    assert np.allclose(
+        engine.logits_batch(stories, questions, lengths),
+        engine.batch.logits(stories, questions, lengths),
+    )
+    answers = engine.predict(stories, questions, lengths)
+    assert engine.accuracy(stories, questions, answers, lengths) == 1.0
+
+
+class TestEmbeddingDtype:
+    """Regression: embeddings must follow the matrix dtype, including
+    the empty-sentence zero vector (previously always float64)."""
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_golden_empty_sentence_dtype(self, dtype):
+        rng = np.random.default_rng(1)
+        weights = random_weights(rng, dtype=dtype)
+        engine = InferenceEngine(weights)
+        out = engine.embed_sentence(np.zeros(4, dtype=np.int64), weights.w_emb_a)
+        assert out.dtype == dtype
+        assert np.array_equal(out, np.zeros(weights.config.embed_dim, dtype))
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_batch_embedding_dtype(self, dtype):
+        rng = np.random.default_rng(2)
+        weights = random_weights(rng, dtype=dtype)
+        batch = BatchInferenceEngine(weights)
+        indices = np.array([[0, 0, 0, 0], [3, 0, 5, 0]], dtype=np.int64)
+        out = batch.embed_sentences(indices, weights.w_emb_a)
+        assert out.dtype == dtype
+        assert np.array_equal(out[0], np.zeros(weights.config.embed_dim, dtype))
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_logits_dtype_follows_weights(self, dtype):
+        rng = np.random.default_rng(4)
+        weights = random_weights(rng, dtype=dtype)
+        stories, questions, lengths = random_batch(rng, batch=3)
+        engine = InferenceEngine(weights)
+        assert engine.logits_batch(stories, questions, lengths).dtype == dtype
+        assert (
+            engine.forward_trace(stories[0], questions[0], int(lengths[0]))
+            .logits.dtype
+            == dtype
+        )

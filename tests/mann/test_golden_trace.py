@@ -1,0 +1,113 @@
+"""Golden-trace regression fixture: the full `InferenceTrace` of a
+deterministic-seed example is pinned **by value** in a committed .npz
+snapshot, so any future refactor of the read/write path (batched or
+per-example) that changes a number — not just a shape — fails here.
+
+Regenerate (only after an intentional numerical change) with:
+
+    PYTHONPATH=src python tests/mann/test_golden_trace.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.mann import BatchInferenceEngine, InferenceEngine, MannConfig
+from repro.mann.model import MemoryNetwork
+
+FIXTURE = pathlib.Path(__file__).parent / "fixtures" / "golden_trace.npz"
+SNAPSHOT_ATOL = 1e-12
+
+
+def reference_setup():
+    """Deterministic weights + one fixed ragged example."""
+    config = MannConfig(
+        vocab_size=19, embed_dim=8, memory_size=6, hops=3, seed=123
+    )
+    weights = MemoryNetwork(config).export_weights()
+    rng = np.random.default_rng(456)
+    story = rng.integers(1, config.vocab_size, size=(6, 5))
+    story[4:] = 0  # two trailing pad slots
+    story[1, 3:] = 0  # interior sentence pads
+    question = np.array([7, 2, 0, 11, 0], dtype=np.int64)
+    return weights, story.astype(np.int64), question, 4
+
+
+def compute_snapshot() -> dict[str, np.ndarray]:
+    weights, story, question, n_sentences = reference_setup()
+    trace = InferenceEngine(weights).forward_trace(story, question, n_sentences)
+    return {
+        "story": story,
+        "question": question,
+        "n_sentences": np.int64(n_sentences),
+        "mem_a": trace.mem_a,
+        "mem_c": trace.mem_c,
+        "keys": np.stack(trace.keys),
+        "scores": np.stack(trace.scores),
+        "attentions": np.stack(trace.attentions),
+        "reads": np.stack(trace.reads),
+        "controller_outputs": np.stack(trace.controller_outputs),
+        "logits": trace.logits,
+        "prediction": np.int64(trace.prediction),
+    }
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    if not FIXTURE.exists():
+        pytest.fail(
+            f"missing fixture {FIXTURE}; regenerate with "
+            "`PYTHONPATH=src python tests/mann/test_golden_trace.py`"
+        )
+    with np.load(FIXTURE) as data:
+        return {key: data[key] for key in data.files}
+
+
+def test_golden_trace_matches_snapshot_by_value(snapshot):
+    current = compute_snapshot()
+    assert set(current) == set(snapshot)
+    for key, expected in snapshot.items():
+        np.testing.assert_allclose(
+            current[key],
+            expected,
+            rtol=0.0,
+            atol=SNAPSHOT_ATOL,
+            err_msg=f"golden trace field {key!r} drifted from the snapshot",
+        )
+
+
+def test_batch_engine_matches_snapshot_by_value(snapshot):
+    """The vectorised path is held to the same pinned values."""
+    weights, story, question, n_sentences = reference_setup()
+    trace = BatchInferenceEngine(weights).forward_trace(
+        story[None], question[None], np.array([n_sentences])
+    )
+    n = n_sentences
+    np.testing.assert_allclose(
+        trace.mem_a[0, :n], snapshot["mem_a"], rtol=0.0, atol=SNAPSHOT_ATOL
+    )
+    np.testing.assert_allclose(
+        np.stack([k[0] for k in trace.keys]),
+        snapshot["keys"],
+        rtol=0.0,
+        atol=SNAPSHOT_ATOL,
+    )
+    np.testing.assert_allclose(
+        np.stack([a[0, :n] for a in trace.attentions]),
+        snapshot["attentions"],
+        rtol=0.0,
+        atol=SNAPSHOT_ATOL,
+    )
+    np.testing.assert_allclose(
+        trace.logits[0], snapshot["logits"], rtol=0.0, atol=SNAPSHOT_ATOL
+    )
+    assert int(trace.predictions[0]) == int(snapshot["prediction"])
+
+
+if __name__ == "__main__":
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(FIXTURE, **compute_snapshot())
+    print(f"wrote {FIXTURE}")

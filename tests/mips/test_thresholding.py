@@ -30,6 +30,13 @@ class TestFitThresholdModel:
         with pytest.raises(ValueError):
             fit_threshold_model(rng.normal(size=(4, 3)), np.zeros(5, dtype=int))
 
+    def test_labels_outside_logit_columns_rejected(self, rng):
+        logits = rng.normal(size=(4, 3))
+        with pytest.raises(ValueError):
+            fit_threshold_model(logits, np.array([0, 1, 2, 3]))
+        with pytest.raises(ValueError):
+            fit_threshold_model(logits, np.array([0, -1, 2, 1]))
+
     def test_priors_sum_to_one(self, task1_system):
         tm = task1_system["threshold_model"]
         assert np.isclose(tm.priors.sum(), 1.0)
