@@ -7,18 +7,24 @@ in resource-limited environments". This example pits Algorithm 1
 against both on identical trained-model queries and reports accuracy
 (agreement with the exact argmax and with the true labels) and the
 number of |E|-wide dot products each method spends per query.
+
+Every engine is pulled from the ``repro.mips`` backend registry and
+evaluated through its vectorized ``search_batch`` kernel — one stacked
+result per task instead of a per-query Python loop.
 """
 
 import argparse
 
+from repro.eval.backends import evaluate_mips_backends
 from repro.eval.suite import BabiSuite, SuiteConfig
-from repro.mips import (
-    AlshMips,
-    ClusteringMips,
-    ExactMips,
-    InferenceThresholding,
-)
 from repro.utils.tables import TextTable
+
+BACKEND_LABELS = {
+    "exact": "exact scan",
+    "threshold": "inference thresholding (rho=1.0)",
+    "alsh": "ALSH (8 tables x 8 bits)",
+    "clustering": "clustering (8 clusters, probe 2)",
+}
 
 
 def main() -> None:
@@ -38,40 +44,14 @@ def main() -> None:
         ["engine", "agreement w/ exact", "label accuracy", "mean dot products"],
         title="MIPS engines on identical trained-model queries",
     )
-
-    engines = {
-        "exact scan": lambda s: ExactMips(s.weights.w_o),
-        "inference thresholding (rho=1.0)": lambda s: InferenceThresholding(
-            s.weights.w_o, s.threshold_model, rho=1.0
-        ),
-        "ALSH (8 tables x 8 bits)": lambda s: AlshMips(s.weights.w_o, seed=0),
-        "clustering (8 clusters, probe 2)": lambda s: ClusteringMips(
-            s.weights.w_o, seed=0
-        ),
-    }
-
-    for name, factory in engines.items():
-        agree = correct = total = comparisons = 0
-        for system in suite.tasks.values():
-            batch = system.test_batch
-            queries = system.batch_engine.forward_trace(
-                batch.stories, batch.questions, batch.story_lengths
-            ).h_final
-            exact = ExactMips(system.weights.w_o)
-            engine = factory(system)
-            for query, answer in zip(queries, batch.answers):
-                reference = exact.search(query)
-                result = engine.search(query)
-                agree += int(result.label == reference.label)
-                correct += int(result.label == int(answer))
-                comparisons += result.comparisons
-                total += 1
+    names = ["exact", "threshold", "alsh", "clustering"]
+    for row in evaluate_mips_backends(suite, names, rho=1.0, seed=0):
         table.add_row(
             [
-                name,
-                f"{agree / total:.3f}",
-                f"{correct / total:.3f}",
-                f"{comparisons / total:.1f}",
+                BACKEND_LABELS.get(row.backend, row.backend),
+                f"{row.agreement_with_exact:.3f}",
+                f"{row.label_accuracy:.3f}",
+                f"{row.mean_comparisons:.1f}",
             ]
         )
 

@@ -7,6 +7,7 @@ without writing any code:
     python -m repro fig3
     python -m repro fig4
     python -m repro ablation
+    python -m repro mips --mips-backend threshold   # MIPS backend eval
     python -m repro resources
     python -m repro tasks           # list the 20 bAbI task generators
 """
@@ -26,6 +27,7 @@ from repro.eval.experiments import (
 from repro.eval.suite import BabiSuite, SuiteConfig
 from repro.hw import HwConfig, estimate_resources
 from repro.mann.config import MannConfig
+from repro.mips import available_backends
 from repro.utils.tables import TextTable
 
 
@@ -78,6 +80,39 @@ def _cmd_fig4(args: argparse.Namespace) -> None:
 
 def _cmd_ablation(args: argparse.Namespace) -> None:
     print(run_interface_ablation(_build_suite(args)).to_table().render())
+
+
+def _cmd_mips(args: argparse.Namespace) -> None:
+    """Evaluate registered MIPS backends on the suite's test queries."""
+    from repro.eval.backends import evaluate_mips_backends
+
+    suite = _build_suite(args)
+    names = (
+        list(available_backends())
+        if args.mips_backend == "all"
+        else [args.mips_backend]
+    )
+    table = TextTable(
+        [
+            "backend",
+            "agreement w/ exact",
+            "label accuracy",
+            "mean comparisons",
+            "early-exit rate",
+        ],
+        title="MIPS backends on identical trained-model queries",
+    )
+    for row in evaluate_mips_backends(suite, names, rho=args.rho, seed=args.seed):
+        table.add_row(
+            [
+                row.backend,
+                f"{row.agreement_with_exact:.3f}",
+                f"{row.label_accuracy:.3f}",
+                f"{row.mean_comparisons:.1f}",
+                f"{row.early_exit_rate:.3f}",
+            ]
+        )
+    print(table.render())
 
 
 def _cmd_resources(args: argparse.Namespace) -> None:
@@ -166,6 +201,24 @@ def build_parser() -> argparse.ArgumentParser:
         sub = subparsers.add_parser(name, help=f"reproduce {name}")
         _add_suite_arguments(sub)
         sub.set_defaults(handler=handler)
+
+    mips = subparsers.add_parser(
+        "mips", help="evaluate pluggable MIPS backends on the suite"
+    )
+    _add_suite_arguments(mips)
+    mips.add_argument(
+        "--mips-backend",
+        choices=(*available_backends(), "all"),
+        default="all",
+        help="registered output-search backend to evaluate (default: all)",
+    )
+    mips.add_argument(
+        "--rho",
+        type=float,
+        default=1.0,
+        help="thresholding constant for the 'threshold' backend",
+    )
+    mips.set_defaults(handler=_cmd_mips)
 
     resources = subparsers.add_parser(
         "resources", help="estimate FPGA resource utilisation"

@@ -16,6 +16,7 @@
   mixture summaries.
 """
 
+from repro.eval.backends import BackendEvalRow, evaluate_mips_backends
 from repro.eval.metrics import EfficiencyRow, normalise_to_gpu
 from repro.eval.suite import BabiSuite, SuiteConfig, TaskSystem
 
@@ -23,6 +24,8 @@ __all__ = [
     "BabiSuite",
     "SuiteConfig",
     "TaskSystem",
+    "BackendEvalRow",
+    "evaluate_mips_backends",
     "EfficiencyRow",
     "normalise_to_gpu",
 ]

@@ -1,0 +1,77 @@
+"""Shared MIPS-backend evaluation over a suite's test queries.
+
+One vectorized ``search_batch`` per (task, backend) pair: the CLI's
+``repro mips`` subcommand, ``examples/mips_baselines.py`` and the CI
+backend-matrix smoke job all report from this single loop instead of
+re-implementing the aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.suite import BabiSuite
+from repro.mips import available_backends
+
+
+@dataclass(frozen=True)
+class BackendEvalRow:
+    """Aggregate statistics of one backend over the whole suite."""
+
+    backend: str
+    agreement_with_exact: float
+    label_accuracy: float
+    mean_comparisons: float
+    early_exit_rate: float
+
+
+def evaluate_mips_backends(
+    suite: BabiSuite,
+    names: list[str] | None = None,
+    rho: float = 1.0,
+    seed: int = 0,
+) -> list[BackendEvalRow]:
+    """Run every named backend over identical trained-model queries.
+
+    Queries are each task's final controller outputs h_T on the test
+    set; agreement is measured against the exact backend's labels on
+    the very same queries.
+    """
+    names = list(names) if names is not None else list(available_backends())
+    per_task = []
+    for system in suite.tasks.values():
+        batch = system.test_batch
+        trace = system.batch_engine.forward_trace(
+            batch.stories, batch.questions, batch.story_lengths
+        )
+        exact = system.mips_engine("exact").search_batch(trace.h_final)
+        per_task.append((system, trace.h_final, batch.answers, exact))
+
+    rows: list[BackendEvalRow] = []
+    for name in names:
+        agree = correct = total = comparisons = exits = 0
+        for system, queries, answers, exact in per_task:
+            results = (
+                exact  # reference pass already computed during prep
+                if name == "exact"
+                else system.mips_engine(name, rho=rho, seed=seed).search_batch(
+                    queries
+                )
+            )
+            agree += int((results.labels == exact.labels).sum())
+            correct += int((results.labels == np.asarray(answers)).sum())
+            comparisons += int(results.comparisons.sum())
+            exits += int(results.early_exits.sum())
+            total += len(results)
+        rows.append(
+            BackendEvalRow(
+                backend=name,
+                agreement_with_exact=agree / total,
+                label_accuracy=correct / total,
+                mean_comparisons=comparisons / total,
+                early_exit_rate=exits / total,
+            )
+        )
+    return rows

@@ -13,8 +13,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.eval.suite import BabiSuite, TaskSystem
-from repro.mips.exact import ExactMips
-from repro.mips.thresholding import InferenceThresholding
 from repro.utils.tables import TextTable, format_float
 
 PAPER_RHOS = (1.0, 0.99, 0.95, 0.9)
@@ -87,19 +85,19 @@ def run_fig3(
     }
 
     def evaluate(engine_factory) -> tuple[float, float]:
+        """One vectorized search_batch per task instead of a query loop."""
         correct = total = comparisons = 0
         for task_id, (queries, answers) in per_task.items():
             engine = engine_factory(suite.tasks[task_id])
-            for query, answer in zip(queries, answers):
-                result = engine.search(query)
-                correct += int(result.label == int(answer))
-                comparisons += result.comparisons
-                total += 1
+            results = engine.search_batch(queries)
+            correct += int((results.labels == answers).sum())
+            comparisons += int(results.comparisons.sum())
+            total += len(results)
         return correct / total, comparisons / total
 
     points: list[Fig3Point] = []
     base_accuracy, base_comparisons = evaluate(
-        lambda system: ExactMips(system.weights.w_o)
+        lambda system: system.mips_engine("exact")
     )
     points.append(
         Fig3Point(None, True, base_accuracy, base_comparisons, 1.0, 1.0)
@@ -108,11 +106,8 @@ def run_fig3(
     for rho in rhos:
         for ordering in (True, False):
             accuracy, mean_cmp = evaluate(
-                lambda system, rho=rho, ordering=ordering: InferenceThresholding(
-                    system.weights.w_o,
-                    system.threshold_model,
-                    rho=rho,
-                    use_index_ordering=ordering,
+                lambda system, rho=rho, ordering=ordering: system.mips_engine(
+                    "threshold", rho=rho, index_ordering=ordering
                 )
             )
             points.append(

@@ -59,14 +59,22 @@ def collect_fpga_artifacts(
     ith: bool,
     rho: float = 1.0,
     index_ordering: bool = True,
+    mips_backend: str | None = None,
 ) -> dict[int, FpgaArtifacts]:
-    """Run the event simulation for every task once."""
+    """Run the event simulation for every task once.
+
+    ``mips_backend`` overrides the OUTPUT module's search engine with
+    any registered ``repro.mips`` backend; ``None`` keeps the paper's
+    pairing (exact scan, or inference thresholding when ``ith``).
+    """
     artifacts: dict[int, FpgaArtifacts] = {}
     for task_id in suite.task_ids:
         system = suite.tasks[task_id]
-        config = base_config.with_embed_dim(
-            system.weights.config.embed_dim
-        ).with_ith(ith, rho=rho, index_ordering=index_ordering)
+        config = (
+            base_config.with_embed_dim(system.weights.config.embed_dim)
+            .with_ith(ith, rho=rho, index_ordering=index_ordering)
+            .with_mips_backend(mips_backend)
+        )
         accelerator = MannAccelerator(
             system.weights, config, system.threshold_model
         )

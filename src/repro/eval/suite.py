@@ -24,6 +24,7 @@ from repro.mann.inference import InferenceEngine
 from repro.mann.trainer import Trainer, TrainResult
 from repro.mann.model import MemoryNetwork
 from repro.mann.weights import MannWeights
+from repro.mips.backend import MipsBackend, get_backend
 from repro.mips.thresholding import ThresholdModel, fit_threshold_model
 from repro.utils.rng import spawn_rngs
 
@@ -72,6 +73,27 @@ class TaskSystem:
     @property
     def test_accuracy(self) -> float:
         return self.train_result.test_accuracy
+
+    def mips_engine(self, name: str = "exact", **params) -> MipsBackend:
+        """Build a registered MIPS backend over this task's output rows.
+
+        The task's fitted :class:`ThresholdModel` is always supplied, so
+        ``system.mips_engine("threshold", rho=0.95)`` works out of the
+        box and other backends simply ignore it.
+        """
+        return get_backend(name).build(
+            self.weights.w_o, threshold_model=self.threshold_model, **params
+        )
+
+    def batch_engine_with(self, mips_backend: str, **params) -> BatchInferenceEngine:
+        """A batch inference engine whose output projection runs the
+        named MIPS backend (same weights, same threshold model)."""
+        return BatchInferenceEngine(
+            self.weights,
+            mips_backend,
+            threshold_model=self.threshold_model,
+            **params,
+        )
 
 
 @dataclass

@@ -33,8 +33,8 @@ from repro.hw.opcounts import ExampleOpCounts, OpCounter
 from repro.hw.pcie import HostInterface, TransferStats
 from repro.hw.timing import CycleModel, PhaseCycles
 from repro.mann.weights import MannWeights
-from repro.mips.exact import ExactMips
-from repro.mips.thresholding import InferenceThresholding, ThresholdModel
+from repro.mips.backend import MipsBackend, get_backend
+from repro.mips.thresholding import ThresholdModel
 
 
 @dataclass
@@ -96,9 +96,12 @@ class MannAccelerator:
                 f"latency embed_dim {config.latency.embed_dim} != model "
                 f"embed_dim {weights.config.embed_dim}"
             )
-        if config.ith_enabled and threshold_model is None:
+        backend_cls = get_backend(config.output_backend)  # fail fast on unknown names
+        needs_model = getattr(backend_cls, "requires_threshold_model", False)
+        if needs_model and threshold_model is None:
             raise ValueError(
-                "inference thresholding requires a fitted ThresholdModel"
+                f"the {config.output_backend!r} backend requires a fitted "
+                "ThresholdModel"
             )
         self.weights = weights
         self.config = config
@@ -109,15 +112,15 @@ class MannAccelerator:
         self.op_counter = OpCounter(config.latency.embed_dim)
 
     # ------------------------------------------------------------------
-    def _build_mips_engine(self):
-        if self.config.ith_enabled:
-            return InferenceThresholding(
-                self.weights.w_o,
-                self.threshold_model,
-                rho=self.config.ith_rho,
-                use_index_ordering=self.config.ith_index_ordering,
-            )
-        return ExactMips(self.weights.w_o)
+    def _build_mips_engine(self) -> MipsBackend:
+        """Instantiate the OUTPUT module's search engine via the
+        ``repro.mips`` registry — any registered backend co-simulates."""
+        return get_backend(self.config.output_backend).build(
+            self.weights.w_o,
+            threshold_model=self.threshold_model,
+            rho=self.config.ith_rho,
+            index_ordering=self.config.ith_index_ordering,
+        )
 
     def _build_pipeline(self, env: Environment):
         """Instantiate modules and FIFOs on a fresh environment."""

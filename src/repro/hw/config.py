@@ -18,6 +18,10 @@ class HwConfig:
     ``ith_enabled``       inference thresholding in the OUTPUT module
     ``ith_rho``           thresholding constant rho (paper default 1.0)
     ``ith_index_ordering``  silhouette visiting order (Step 3)
+    ``mips_backend``      explicit OUTPUT-module search backend name
+                          (``repro.mips`` registry). ``None`` derives it
+                          from ``ith_enabled`` ("threshold" vs "exact");
+                          an explicit name wins over the ITH flag.
     ``overlap_host_transfer``  when True the next example's input stream
                           overlaps compute (the paper's implementation
                           is synchronous per example -> default False;
@@ -31,6 +35,7 @@ class HwConfig:
     ith_enabled: bool = False
     ith_rho: float = 1.0
     ith_index_ordering: bool = True
+    mips_backend: str | None = None
     overlap_host_transfer: bool = False
 
     def __post_init__(self):
@@ -44,6 +49,16 @@ class HwConfig:
     @property
     def cycle_time_s(self) -> float:
         return 1.0 / (self.frequency_mhz * 1e6)
+
+    @property
+    def output_backend(self) -> str:
+        """The OUTPUT module's MIPS backend name for this config."""
+        if self.mips_backend is not None:
+            return self.mips_backend
+        return "threshold" if self.ith_enabled else "exact"
+
+    def with_mips_backend(self, name: str | None) -> "HwConfig":
+        return replace(self, mips_backend=name)
 
     def with_frequency(self, frequency_mhz: float) -> "HwConfig":
         return replace(self, frequency_mhz=frequency_mhz)

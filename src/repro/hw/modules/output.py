@@ -13,19 +13,23 @@ from repro.hw.fifo import Fifo
 from repro.hw.kernel import Environment
 from repro.hw.latency import LatencyParams
 from repro.hw.modules.messages import AnswerMsg, SearchRequestMsg
-from repro.mips.exact import ExactMips
+from repro.mips.backend import MipsBackend
 from repro.mips.stats import SearchResult
-from repro.mips.thresholding import InferenceThresholding
 
 
 class OutputModule:
-    """Runs the MIPS engine over W_o rows and returns the label."""
+    """Runs the MIPS engine over W_o rows and returns the label.
+
+    ``engine`` is any registered :class:`~repro.mips.backend.MipsBackend`
+    (exact scan, inference thresholding, or an approximate baseline);
+    the cycle model charges ``result.comparisons`` scan slots either way.
+    """
 
     def __init__(
         self,
         env: Environment,
         latency: LatencyParams,
-        engine: ExactMips | InferenceThresholding,
+        engine: MipsBackend,
         from_read: Fifo,
         to_control: Fifo,
     ):

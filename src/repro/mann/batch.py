@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.mann.weights import MannWeights
+from repro.mips.backend import MipsBackend, get_backend
+from repro.mips.stats import BatchSearchResult
 
 
 @dataclass
@@ -41,6 +43,9 @@ class BatchTrace:
     controller_outputs: list[np.ndarray] = field(default_factory=list)  # T x (B, E)
     logits: np.ndarray | None = None  # (B, V)
     predictions: np.ndarray | None = None  # (B,) int64
+    # Per-example output-search statistics when the engine runs a MIPS
+    # backend: stacked labels/logits/comparisons/early-exit flags.
+    search: BatchSearchResult | None = None
 
     def __len__(self) -> int:
         return self.mem_a.shape[0]
@@ -49,6 +54,20 @@ class BatchTrace:
     def h_final(self) -> np.ndarray:
         """Final controller outputs h_T, shape (B, E)."""
         return self.controller_outputs[-1]
+
+    @property
+    def comparisons(self) -> np.ndarray:
+        """Per-example output-scan comparison counts (Fig. 3 y-axis)."""
+        if self.search is None:
+            raise ValueError("trace has no search stats: engine ran without a MIPS backend")
+        return self.search.comparisons
+
+    @property
+    def early_exits(self) -> np.ndarray:
+        """Per-example speculative-exit flags of the MIPS backend."""
+        if self.search is None:
+            raise ValueError("trace has no search stats: engine ran without a MIPS backend")
+        return self.search.early_exits
 
 
 class BatchInferenceEngine:
@@ -60,11 +79,30 @@ class BatchInferenceEngine:
     attention mass beyond a story's real length is exactly zero —
     matching the golden engine, which writes exactly one memory element
     per streamed sentence.
+
+    The output projection (Eq. 6) is pluggable: pass ``mips_backend``
+    (a registry name such as ``"exact"``/``"threshold"``/``"alsh"``/
+    ``"clustering"``, or an already-built backend instance) and the
+    argmax runs through that backend's vectorized ``search_batch``,
+    surfacing per-example comparison counts and early-exit flags in
+    :class:`BatchTrace`. With no backend (the default) or with the
+    exact backend, predictions are bit-identical to the golden trace's
+    ``np.argmax`` over the full logit matrix.
     """
 
-    def __init__(self, weights: MannWeights):
+    def __init__(
+        self,
+        weights: MannWeights,
+        mips_backend: str | MipsBackend | None = None,
+        *,
+        threshold_model=None,
+        **backend_params,
+    ):
         self.weights = weights
         self.config = weights.config
+        self.mips = self._resolve_backend(
+            mips_backend, threshold_model, backend_params
+        )
         # Weights are a frozen snapshot, so the pad-zeroed gather
         # matrices are prepared once: columns [:E] of ``_w_emb_ac`` are
         # the address embedding, [E:] the content embedding.
@@ -72,6 +110,36 @@ class BatchInferenceEngine:
         self._w_emb_ac[0] = 0
         self._w_emb_q = weights.w_emb_q.copy()
         self._w_emb_q[0] = 0
+
+    def _resolve_backend(
+        self,
+        mips_backend: str | MipsBackend | None,
+        threshold_model,
+        backend_params: dict,
+    ) -> MipsBackend | None:
+        if mips_backend is None:
+            if threshold_model is not None or backend_params:
+                raise ValueError(
+                    "backend parameters given without a mips_backend"
+                )
+            return None
+        if isinstance(mips_backend, str):
+            return get_backend(mips_backend).build(
+                self.weights.w_o,
+                threshold_model=threshold_model,
+                **backend_params,
+            )
+        if threshold_model is not None or backend_params:
+            raise ValueError(
+                "threshold_model/backend parameters cannot be combined "
+                "with an already-built backend instance"
+            )
+        if mips_backend.weight.shape[0] != self.config.vocab_size:
+            raise ValueError(
+                f"mips backend covers {mips_backend.weight.shape[0]} indices, "
+                f"model vocabulary is {self.config.vocab_size}"
+            )
+        return mips_backend
 
     # -- write path ----------------------------------------------------
     @staticmethod
@@ -151,6 +219,7 @@ class BatchInferenceEngine:
         lengths: np.ndarray | None,
         record: bool,
     ) -> tuple[np.ndarray, BatchTrace | None]:
+        """Run Eqs. 1-5; returns final controller outputs (B, E)."""
         w = self.weights
         stories = np.asarray(stories, dtype=np.int64)
         questions = np.asarray(questions, dtype=np.int64)
@@ -188,11 +257,11 @@ class BatchInferenceEngine:
                 trace.controller_outputs.append(h)
             key = h  # Eq. 3, t > 1
 
-        logits = h @ w.w_o.T  # Eq. 6: (B, V)
-        if trace is not None:
-            trace.logits = logits
-            trace.predictions = np.argmax(logits, axis=1)
-        return logits, trace
+        return h, trace
+
+    def _project(self, h: np.ndarray) -> np.ndarray:
+        """Full output projection (Eq. 6): logits (B, V)."""
+        return h @ self.weights.w_o.T
 
     def forward_trace(
         self,
@@ -200,8 +269,23 @@ class BatchInferenceEngine:
         questions: np.ndarray,
         lengths: np.ndarray | None = None,
     ) -> BatchTrace:
-        """Forward pass of the whole batch recording every intermediate."""
-        _, trace = self._forward(stories, questions, lengths, record=True)
+        """Forward pass of the whole batch recording every intermediate.
+
+        ``trace.logits`` is always the full (B, V) matrix; with a MIPS
+        backend configured, ``trace.search`` carries the backend's
+        stacked per-example statistics and ``trace.predictions`` are the
+        backend's labels (identical to the argmax for exact backends).
+        The traced path therefore pays Eq. 6 twice (full projection for
+        the golden-parity trace plus the backend's own scan) by design;
+        the untraced ``predict``/``search`` path pays only the backend.
+        """
+        h, trace = self._forward(stories, questions, lengths, record=True)
+        trace.logits = self._project(h)
+        if self.mips is None:
+            trace.predictions = np.argmax(trace.logits, axis=1)
+        else:
+            trace.search = self.mips.search_batch(h)
+            trace.predictions = trace.search.labels
         return trace
 
     def logits(
@@ -211,8 +295,23 @@ class BatchInferenceEngine:
         lengths: np.ndarray | None = None,
     ) -> np.ndarray:
         """Logit matrix (B, V) without recording intermediates."""
-        logits, _ = self._forward(stories, questions, lengths, record=False)
-        return logits
+        h, _ = self._forward(stories, questions, lengths, record=False)
+        return self._project(h)
+
+    def search(
+        self,
+        stories: np.ndarray,
+        questions: np.ndarray,
+        lengths: np.ndarray | None = None,
+    ) -> BatchSearchResult:
+        """Run the output search via the configured MIPS backend."""
+        if self.mips is None:
+            raise ValueError(
+                "engine was built without a MIPS backend; pass "
+                "mips_backend= to BatchInferenceEngine"
+            )
+        h, _ = self._forward(stories, questions, lengths, record=False)
+        return self.mips.search_batch(h)
 
     def predict(
         self,
@@ -221,7 +320,9 @@ class BatchInferenceEngine:
         lengths: np.ndarray | None = None,
     ) -> np.ndarray:
         """Greedy predictions (B,) for the whole batch."""
-        return np.argmax(self.logits(stories, questions, lengths), axis=1)
+        if self.mips is None:
+            return np.argmax(self.logits(stories, questions, lengths), axis=1)
+        return self.search(stories, questions, lengths).labels
 
     def accuracy(
         self,

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.mann.batch import BatchInferenceEngine
 from repro.mann.weights import MannWeights
+from repro.mips.backend import get_backend
 
 
 @dataclass
@@ -47,16 +48,50 @@ class InferenceEngine:
     memory element per streamed sentence.
     """
 
-    def __init__(self, weights: MannWeights):
+    def __init__(
+        self,
+        weights: MannWeights,
+        mips_backend=None,
+        *,
+        threshold_model=None,
+        **backend_params,
+    ):
         self.weights = weights
         self.config = weights.config
+        # Fail at construction, not on the first lazy .batch access:
+        # the name must resolve, params need a backend, and backends
+        # that need a fitted ThresholdModel must get one.
+        if mips_backend is None and (threshold_model is not None or backend_params):
+            raise ValueError("backend parameters given without a mips_backend")
+        if isinstance(mips_backend, str):
+            backend_cls = get_backend(mips_backend)
+            if (
+                getattr(backend_cls, "requires_threshold_model", False)
+                and threshold_model is None
+            ):
+                raise ValueError(
+                    f"the {mips_backend!r} backend requires a fitted ThresholdModel"
+                )
+        self._mips_backend = mips_backend
+        self._threshold_model = threshold_model
+        self._backend_params = backend_params
         self._batch: BatchInferenceEngine | None = None
 
     @property
     def batch(self) -> BatchInferenceEngine:
-        """Vectorised engine over the same weights (built on demand)."""
+        """Vectorised engine over the same weights (built on demand).
+
+        Inherits this engine's MIPS backend choice, so constructing
+        ``InferenceEngine(weights, mips_backend="threshold", ...)`` is
+        enough to run every batched entry point through that backend.
+        """
         if self._batch is None:
-            self._batch = BatchInferenceEngine(self.weights)
+            self._batch = BatchInferenceEngine(
+                self.weights,
+                self._mips_backend,
+                threshold_model=self._threshold_model,
+                **self._backend_params,
+            )
         return self._batch
 
     # -- write path ----------------------------------------------------
@@ -136,6 +171,10 @@ class InferenceEngine:
     def logits_batch(self, stories: np.ndarray, questions: np.ndarray, lengths: np.ndarray | None = None) -> np.ndarray:
         """Logit matrix (B, V) across a batch (used to fit thresholds)."""
         return self.batch.logits(stories, questions, lengths)
+
+    def search_batch(self, stories, questions, lengths=None):
+        """Stacked output-search results (requires a ``mips_backend``)."""
+        return self.batch.search(stories, questions, lengths)
 
     def accuracy(self, stories, questions, answers, lengths=None) -> float:
         return self.batch.accuracy(stories, questions, answers, lengths)

@@ -4,16 +4,26 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.mips.stats import SearchResult
+from repro.mips.backend import as_query_matrix, register_backend
+from repro.mips.stats import BatchSearchResult, SearchResult
 
 
+@register_backend("exact", "full", "brute")
 class ExactMips:
-    """Sequential scan over every output row — the baseline the OUTPUT
-    module implements without inference thresholding.
+    """Scan over every output row — the baseline the OUTPUT module
+    implements without inference thresholding.
 
     The scan order is configurable so the hardware simulator can reuse
-    this engine with the silhouette ordering while remaining exact.
+    this engine with the silhouette ordering while remaining exact. The
+    scan itself is vectorized (one matvec/matmul plus an argmax in scan
+    order) but reports the same result and the same ``comparisons``
+    count as the sequential reference loop: ties on the maximum logit
+    resolve to the first index in ``order``, because the running-maximum
+    comparator uses a strict ``>``.
     """
+
+    #: Documented agreement with the brute-force argmax (this IS it).
+    min_recall = 1.0
 
     def __init__(self, weight: np.ndarray, order: np.ndarray | None = None):
         self.weight = np.asarray(weight, dtype=np.float64)
@@ -24,6 +34,23 @@ class ExactMips:
         self.order = np.asarray(order, dtype=np.int64)
         if sorted(self.order.tolist()) != list(range(self.weight.shape[0])):
             raise ValueError("order must be a permutation of all indices")
+        # Rows pre-gathered into scan order: the whole search is then
+        # one contiguous matvec + first-occurrence argmax.
+        self._ordered_weight = self.weight[self.order]
+
+    @classmethod
+    def build(
+        cls,
+        weight: np.ndarray,
+        order: np.ndarray | None = None,
+        *,
+        threshold_model=None,
+        rho: float = 1.0,
+        index_ordering: bool = True,
+        seed: int = 0,
+    ) -> "ExactMips":
+        """Registry hook; the thresholding context is accepted unused."""
+        return cls(weight, order)
 
     @property
     def num_indices(self) -> int:
@@ -31,6 +58,14 @@ class ExactMips:
 
     def search(self, query: np.ndarray) -> SearchResult:
         """Scan all indices; returns the exact argmax."""
+        query = np.asarray(query, dtype=np.float64)
+        logits = self._ordered_weight @ query
+        pos = int(np.argmax(logits))  # first max in scan order wins ties
+        return SearchResult(int(self.order[pos]), float(logits[pos]), logits.shape[0])
+
+    def _search_loop(self, query: np.ndarray) -> SearchResult:
+        """Seed per-row reference loop, kept to pin the vectorized scan
+        (tie-breaking and comparison count) in regression tests."""
         query = np.asarray(query, dtype=np.float64)
         best_index = -1
         best_logit = -np.inf
@@ -43,5 +78,15 @@ class ExactMips:
                 best_index = int(index)
         return SearchResult(best_index, best_logit, comparisons)
 
-    def search_batch(self, queries: np.ndarray) -> list[SearchResult]:
-        return [self.search(q) for q in np.asarray(queries)]
+    def search_batch(self, queries: np.ndarray) -> BatchSearchResult:
+        """Whole-batch exact scan: one (B, V) matmul + row argmax."""
+        queries = as_query_matrix(queries)
+        logits = queries @ self._ordered_weight.T  # (B, V) in scan order
+        pos = np.argmax(logits, axis=1)
+        rows = np.arange(len(queries))
+        return BatchSearchResult(
+            labels=self.order[pos],
+            logits=logits[rows, pos],
+            comparisons=np.full(len(queries), self.num_indices, dtype=np.int64),
+            early_exits=np.zeros(len(queries), dtype=bool),
+        )

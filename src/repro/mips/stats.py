@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
 
 
 @dataclass
@@ -22,6 +26,108 @@ class SearchResult:
 
 
 @dataclass
+class BatchSearchResult:
+    """Stacked outcome of a whole batch of MIPS queries.
+
+    Every registered backend's ``search_batch`` returns this container:
+    one numpy array per field instead of a Python list of
+    :class:`SearchResult`, so downstream consumers (the batch inference
+    engine, the Fig. 3 sweep, benchmarks) can aggregate comparison and
+    early-exit statistics without a per-query loop.
+
+    The legacy list-of-``SearchResult`` shape is kept alive for one
+    release through ``__iter__``/``__getitem__`` shims that emit a
+    ``DeprecationWarning``; use the stacked arrays (or ``to_list()``
+    where scalar results are genuinely needed) instead.
+    """
+
+    labels: np.ndarray  # (B,) int64 argmax index per query
+    logits: np.ndarray  # (B,) float64 winning logit per query
+    comparisons: np.ndarray  # (B,) int64 logit evaluations per query
+    early_exits: np.ndarray  # (B,) bool speculative-exit flag per query
+
+    def __post_init__(self):
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        self.logits = np.asarray(self.logits, dtype=np.float64)
+        self.comparisons = np.asarray(self.comparisons, dtype=np.int64)
+        self.early_exits = np.asarray(self.early_exits, dtype=bool)
+        n = self.labels.shape
+        for name in ("logits", "comparisons", "early_exits"):
+            if getattr(self, name).shape != n:
+                raise ValueError(
+                    f"{name} has shape {getattr(self, name).shape}, "
+                    f"expected {n} to match labels"
+                )
+        if self.labels.ndim != 1:
+            raise ValueError("batch result fields must be 1-D arrays")
+
+    def __len__(self) -> int:
+        return self.labels.shape[0]
+
+    # -- aggregate views -------------------------------------------------
+    @property
+    def mean_comparisons(self) -> float:
+        return float(self.comparisons.mean()) if len(self) else 0.0
+
+    @property
+    def early_exit_rate(self) -> float:
+        return float(self.early_exits.mean()) if len(self) else 0.0
+
+    def accuracy(self, answers: np.ndarray) -> float:
+        """Fraction of queries whose label matches ``answers``."""
+        answers = np.asarray(answers)
+        if answers.shape != self.labels.shape:
+            raise ValueError(
+                f"answers has shape {answers.shape}, expected {self.labels.shape}"
+            )
+        return float((self.labels == answers).mean()) if len(self) else 0.0
+
+    # -- scalar access ---------------------------------------------------
+    def result(self, i: int) -> SearchResult:
+        """The i-th query's outcome as a scalar :class:`SearchResult`."""
+        return SearchResult(
+            int(self.labels[i]),
+            float(self.logits[i]),
+            int(self.comparisons[i]),
+            bool(self.early_exits[i]),
+        )
+
+    def to_list(self) -> list[SearchResult]:
+        """Materialise the batch as scalar results (no deprecation)."""
+        return [self.result(i) for i in range(len(self))]
+
+    @classmethod
+    def from_results(cls, results: list[SearchResult]) -> "BatchSearchResult":
+        """Stack scalar results (for backends without a batched kernel)."""
+        return cls(
+            labels=np.array([r.label for r in results], dtype=np.int64),
+            logits=np.array([r.logit for r in results], dtype=np.float64),
+            comparisons=np.array([r.comparisons for r in results], dtype=np.int64),
+            early_exits=np.array([r.early_exit for r in results], dtype=bool),
+        )
+
+    # -- deprecated list-shape shims --------------------------------------
+    def _warn_list_shape(self) -> None:
+        warnings.warn(
+            "treating BatchSearchResult as a list of SearchResult is "
+            "deprecated; use the stacked .labels/.logits/.comparisons/"
+            ".early_exits arrays or .to_list()",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def __iter__(self) -> Iterator[SearchResult]:
+        self._warn_list_shape()
+        return iter(self.to_list())
+
+    def __getitem__(self, i: int | slice) -> SearchResult | list[SearchResult]:
+        self._warn_list_shape()
+        if isinstance(i, slice):
+            return [self.result(j) for j in range(len(self))[i]]
+        return self.result(int(i))
+
+
+@dataclass
 class SearchStats:
     """Aggregate counters over many queries."""
 
@@ -38,6 +144,19 @@ class SearchStats:
         self.labels.append(result.label)
         if true_label is not None and result.label == int(true_label):
             self.correct += 1
+
+    def record_batch(
+        self, results: BatchSearchResult, true_labels: np.ndarray | None = None
+    ) -> None:
+        """Fold a whole stacked batch into the counters at once."""
+        self.queries += len(results)
+        self.comparisons += int(results.comparisons.sum())
+        self.early_exits += int(results.early_exits.sum())
+        self.labels.extend(int(label) for label in results.labels)
+        if true_labels is not None:
+            self.correct += int(
+                (results.labels == np.asarray(true_labels)).sum()
+            )
 
     @property
     def mean_comparisons(self) -> float:

@@ -3,7 +3,9 @@
 import numpy as np
 import pytest
 
+from repro.eval.backends import evaluate_mips_backends
 from repro.eval.suite import BabiSuite, SuiteConfig
+from repro.mips import available_backends
 
 
 class TestSuiteConfig:
@@ -73,3 +75,52 @@ class TestBuiltSuite:
         wa = a.tasks[1].weights.w_o
         wb = b.tasks[1].weights.w_o
         assert np.array_equal(wa, wb)
+
+
+class TestMipsBackendAccess:
+    def test_mips_engine_builds_every_backend(self, small_suite):
+        system = small_suite.tasks[1]
+        for name in available_backends():
+            engine = system.mips_engine(name)
+            assert engine.num_indices == len(small_suite.vocab)
+
+    def test_batch_engine_with_backend_predicts(self, small_suite):
+        system = small_suite.tasks[1]
+        batch = system.test_batch
+        engine = system.batch_engine_with("threshold", rho=1.0)
+        results = engine.search(batch.stories, batch.questions, batch.story_lengths)
+        assert len(results) == len(batch)
+        assert np.array_equal(
+            engine.predict(batch.stories, batch.questions, batch.story_lengths),
+            results.labels,
+        )
+        # The exact backend reproduces the plain batch engine bitwise.
+        exact = system.batch_engine_with("exact")
+        assert np.array_equal(
+            exact.predict(batch.stories, batch.questions, batch.story_lengths),
+            system.batch_engine.predict(
+                batch.stories, batch.questions, batch.story_lengths
+            ),
+        )
+
+
+class TestEvaluateMipsBackends:
+    def test_rows_cover_all_backends(self, small_suite):
+        rows = evaluate_mips_backends(small_suite)
+        assert [r.backend for r in rows] == list(available_backends())
+        for row in rows:
+            assert 0.0 <= row.agreement_with_exact <= 1.0
+            assert 0.0 <= row.label_accuracy <= 1.0
+            assert row.mean_comparisons > 0
+
+    def test_exact_row_is_reference(self, small_suite):
+        (row,) = evaluate_mips_backends(small_suite, ["exact"])
+        assert row.agreement_with_exact == 1.0
+        assert row.early_exit_rate == 0.0
+        vocab = len(small_suite.vocab)
+        assert row.mean_comparisons == pytest.approx(vocab)
+
+    def test_threshold_row_saves_comparisons(self, small_suite):
+        (row,) = evaluate_mips_backends(small_suite, ["threshold"], rho=1.0)
+        assert row.early_exit_rate > 0
+        assert row.mean_comparisons < len(small_suite.vocab)

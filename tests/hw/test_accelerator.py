@@ -58,6 +58,29 @@ class TestFunctionalCoSimulation:
             ).h_final
             assert report.predictions[i] == sw.search(h).label
 
+    def test_approximate_backend_matches_software_engine(self, task1_system):
+        """Any registered backend co-simulates through the OUTPUT module."""
+        from repro.mips import build_backend
+
+        weights = task1_system["weights"]
+        cfg = (
+            HwConfig(frequency_mhz=25.0)
+            .with_embed_dim(weights.config.embed_dim)
+            .with_mips_backend("clustering")
+        )
+        accelerator = MannAccelerator(weights, cfg)
+        batch = task1_system["test_batch"].subset(np.arange(10))
+        report = accelerator.run(batch)
+        sw = build_backend("clustering", weights.w_o, seed=0)
+        engine = task1_system["engine"]
+        for i in range(len(batch)):
+            h = engine.forward_trace(
+                batch.stories[i], batch.questions[i], int(batch.story_lengths[i])
+            ).h_final
+            expected = sw.search(h)
+            assert report.predictions[i] == expected.label
+        assert report.mean_comparisons < weights.config.vocab_size
+
     def test_mem_module_values_match_trace(self, task1_system, configs):
         """MEM rows after a run equal the golden trace memories."""
         accelerator = _accelerator(task1_system, configs["plain"])
@@ -172,6 +195,22 @@ class TestConfigValidation:
         ).with_ith(True)
         with pytest.raises(ValueError):
             MannAccelerator(task1_system["weights"], cfg, threshold_model=None)
+
+    def test_threshold_backend_alias_requires_model_too(self, task1_system):
+        """The fail-fast check resolves aliases, not just 'threshold'."""
+        for name in ("threshold", "ith"):
+            cfg = HwConfig().with_embed_dim(
+                task1_system["weights"].config.embed_dim
+            ).with_mips_backend(name)
+            with pytest.raises(ValueError):
+                MannAccelerator(task1_system["weights"], cfg, threshold_model=None)
+
+    def test_unknown_backend_rejected_at_construction(self, task1_system):
+        cfg = HwConfig().with_embed_dim(
+            task1_system["weights"].config.embed_dim
+        ).with_mips_backend("no-such-backend")
+        with pytest.raises(KeyError):
+            MannAccelerator(task1_system["weights"], cfg)
 
     def test_model_transfer_optional(self, task1_system, configs):
         accelerator = _accelerator(task1_system, configs["plain"])

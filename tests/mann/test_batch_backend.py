@@ -1,0 +1,162 @@
+"""BatchInferenceEngine with a pluggable MIPS output backend."""
+
+import numpy as np
+import pytest
+
+from repro.babi import generate_task_dataset
+from repro.mann import BatchInferenceEngine, InferenceEngine, MemoryNetwork
+from repro.mann.config import MannConfig
+from repro.mips import ExactMips, InferenceThresholding
+
+
+@pytest.fixture(scope="module")
+def untrained():
+    train, _ = generate_task_dataset(task_id=2, n_train=40, n_test=5, seed=13)
+    batch = train.encode()
+    config = MannConfig(
+        vocab_size=train.vocab_size,
+        embed_dim=16,
+        memory_size=train.memory_size,
+        seed=9,
+    )
+    weights = MemoryNetwork(config).export_weights()
+    return weights, batch
+
+
+class TestExactBackendParity:
+    def test_bit_identical_to_golden_trace(self, untrained):
+        """Acceptance: the exact backend reproduces the golden argmax."""
+        weights, batch = untrained
+        golden = InferenceEngine(weights)
+        reference = np.array(
+            [
+                golden.forward_trace(
+                    batch.stories[i], batch.questions[i], int(batch.story_lengths[i])
+                ).prediction
+                for i in range(len(batch))
+            ]
+        )
+        engine = BatchInferenceEngine(weights, mips_backend="exact")
+        preds = engine.predict(batch.stories, batch.questions, batch.story_lengths)
+        assert np.array_equal(preds, reference)
+
+        # And bit-identical to the plain tensor-argmax path.
+        plain = BatchInferenceEngine(weights)
+        assert np.array_equal(
+            preds, plain.predict(batch.stories, batch.questions, batch.story_lengths)
+        )
+
+    def test_trace_carries_search_stats(self, untrained):
+        weights, batch = untrained
+        engine = BatchInferenceEngine(weights, mips_backend="exact")
+        trace = engine.forward_trace(
+            batch.stories, batch.questions, batch.story_lengths
+        )
+        assert trace.search is not None
+        assert np.array_equal(trace.predictions, trace.search.labels)
+        assert (trace.comparisons == weights.config.vocab_size).all()
+        assert not trace.early_exits.any()
+        # Full logits remain available for analysis alongside the search.
+        assert trace.logits.shape == (len(batch), weights.config.vocab_size)
+        assert np.array_equal(np.argmax(trace.logits, axis=1), trace.predictions)
+
+    def test_trace_without_backend_has_no_search(self, untrained):
+        weights, batch = untrained
+        trace = BatchInferenceEngine(weights).forward_trace(
+            batch.stories, batch.questions, batch.story_lengths
+        )
+        assert trace.search is None
+        with pytest.raises(ValueError):
+            _ = trace.comparisons
+        with pytest.raises(ValueError):
+            _ = trace.early_exits
+
+
+class TestThresholdBackend:
+    def test_matches_software_ith_engine(self, task1_system):
+        weights = task1_system["weights"]
+        batch = task1_system["test_batch"]
+        tm = task1_system["threshold_model"]
+        engine = BatchInferenceEngine(
+            weights, mips_backend="threshold", threshold_model=tm, rho=1.0
+        )
+        results = engine.search(batch.stories, batch.questions, batch.story_lengths)
+
+        sw = InferenceThresholding(weights.w_o, tm, rho=1.0)
+        golden = task1_system["engine"]
+        for i in range(len(batch)):
+            h = golden.forward_trace(
+                batch.stories[i], batch.questions[i], int(batch.story_lengths[i])
+            ).h_final
+            expected = sw.search(h)
+            assert results.labels[i] == expected.label
+            assert results.comparisons[i] == expected.comparisons
+            assert results.early_exits[i] == expected.early_exit
+
+    def test_some_early_exits_on_trained_model(self, task1_system):
+        weights = task1_system["weights"]
+        batch = task1_system["test_batch"]
+        engine = BatchInferenceEngine(
+            weights,
+            mips_backend="threshold",
+            threshold_model=task1_system["threshold_model"],
+        )
+        trace = engine.forward_trace(
+            batch.stories, batch.questions, batch.story_lengths
+        )
+        assert trace.early_exits.any()
+        assert trace.search.mean_comparisons < weights.config.vocab_size
+
+
+class TestBackendResolution:
+    def test_accepts_prebuilt_instance(self, untrained):
+        weights, batch = untrained
+        backend = ExactMips(weights.w_o)
+        engine = BatchInferenceEngine(weights, backend)
+        assert engine.mips is backend
+        preds = engine.predict(batch.stories, batch.questions, batch.story_lengths)
+        assert preds.shape == (len(batch),)
+
+    def test_rejects_vocab_mismatch(self, untrained, rng):
+        weights, _ = untrained
+        wrong = ExactMips(rng.normal(size=(weights.config.vocab_size + 1, 4)))
+        with pytest.raises(ValueError, match="vocabulary"):
+            BatchInferenceEngine(weights, wrong)
+
+    def test_rejects_params_without_backend(self, untrained):
+        weights, _ = untrained
+        with pytest.raises(ValueError):
+            BatchInferenceEngine(weights, rho=0.9)
+
+    def test_search_requires_backend(self, untrained):
+        weights, batch = untrained
+        with pytest.raises(ValueError, match="mips_backend"):
+            BatchInferenceEngine(weights).search(
+                batch.stories, batch.questions, batch.story_lengths
+            )
+
+    def test_inference_engine_validates_at_construction(self, untrained):
+        weights, _ = untrained
+        with pytest.raises(ValueError):
+            InferenceEngine(weights, rho=0.9)  # params without a backend
+        with pytest.raises(ValueError, match="ThresholdModel"):
+            InferenceEngine(weights, "threshold")  # model forgotten
+        with pytest.raises(KeyError):
+            InferenceEngine(weights, "no-such-backend")
+
+    def test_inference_engine_passthrough(self, task1_system):
+        weights = task1_system["weights"]
+        batch = task1_system["test_batch"]
+        engine = InferenceEngine(
+            weights,
+            mips_backend="threshold",
+            threshold_model=task1_system["threshold_model"],
+        )
+        results = engine.search_batch(
+            batch.stories, batch.questions, batch.story_lengths
+        )
+        assert len(results) == len(batch)
+        assert np.array_equal(
+            engine.predict(batch.stories, batch.questions, batch.story_lengths),
+            results.labels,
+        )

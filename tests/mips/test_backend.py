@@ -1,0 +1,194 @@
+"""Tests for the MIPS backend registry and the stacked batch result."""
+
+import numpy as np
+import pytest
+
+from repro.mips import (
+    AlshMips,
+    BatchSearchResult,
+    ClusteringMips,
+    ExactMips,
+    InferenceThresholding,
+    MipsBackend,
+    SearchResult,
+    SearchStats,
+    available_backends,
+    build_backend,
+    fit_threshold_model,
+    get_backend,
+    register_backend,
+)
+
+
+@pytest.fixture()
+def threshold_model(rng):
+    weight = rng.normal(size=(12, 6))
+    train = rng.normal(size=(200, 6))
+    logits = train @ weight.T
+    return weight, fit_threshold_model(logits, logits.argmax(axis=1))
+
+
+class TestRegistry:
+    def test_all_four_engines_registered(self):
+        assert available_backends() == ("alsh", "clustering", "exact", "threshold")
+        assert get_backend("exact") is ExactMips
+        assert get_backend("threshold") is InferenceThresholding
+        assert get_backend("alsh") is AlshMips
+        assert get_backend("clustering") is ClusteringMips
+
+    def test_aliases_and_case_insensitivity(self):
+        assert get_backend("ith") is InferenceThresholding
+        assert get_backend("inference_thresholding") is InferenceThresholding
+        assert get_backend("lsh") is AlshMips
+        assert get_backend("kmeans") is ClusteringMips
+        assert get_backend(" EXACT ") is ExactMips
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="exact"):
+            get_backend("no-such-backend")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(TypeError):
+            get_backend(3)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_backend("exact")(type("Fake", (), {}))
+
+    def test_backend_name_attribute(self):
+        assert ExactMips.backend_name == "exact"
+        assert InferenceThresholding.backend_name == "threshold"
+
+    def test_instances_satisfy_protocol(self, rng, threshold_model):
+        weight, tm = threshold_model
+        engines = [
+            build_backend("exact", weight),
+            build_backend("threshold", weight, threshold_model=tm),
+            build_backend("alsh", weight, seed=0),
+            build_backend("clustering", weight, seed=0),
+        ]
+        for engine in engines:
+            assert isinstance(engine, MipsBackend)
+
+
+class TestBuild:
+    def test_exact_build_respects_order(self, rng):
+        weight = rng.normal(size=(9, 4))
+        order = rng.permutation(9)
+        engine = get_backend("exact").build(weight, order)
+        assert np.array_equal(engine.order, order)
+
+    def test_threshold_build_requires_model(self, rng):
+        with pytest.raises(ValueError, match="ThresholdModel"):
+            get_backend("threshold").build(rng.normal(size=(5, 3)))
+
+    def test_threshold_build_passes_rho_and_ordering(self, threshold_model):
+        weight, tm = threshold_model
+        engine = get_backend("threshold").build(
+            weight, threshold_model=tm, rho=0.9, index_ordering=False
+        )
+        assert engine.rho == 0.9
+        assert np.array_equal(engine.order, np.arange(tm.n_indices))
+
+    def test_alsh_build_forwards_params(self, rng):
+        engine = get_backend("alsh").build(
+            rng.normal(size=(20, 5)), n_tables=3, n_bits=4, seed=9
+        )
+        assert engine.n_tables == 3
+        assert engine.n_bits == 4
+
+    def test_clustering_build_forwards_params(self, rng):
+        engine = get_backend("clustering").build(
+            rng.normal(size=(20, 5)), n_clusters=4, n_probe=3, seed=1
+        )
+        assert engine.n_clusters == 4
+        assert engine.n_probe == 3
+
+    def test_builders_accept_unused_threshold_context(self, rng, threshold_model):
+        weight, tm = threshold_model
+        # Every backend accepts the full keyword surface so one call
+        # site can construct any of them.
+        for name in available_backends():
+            engine = build_backend(
+                name, weight, threshold_model=tm, rho=1.0, index_ordering=True, seed=0
+            )
+            assert engine.num_indices == weight.shape[0]
+
+
+class TestBatchSearchResult:
+    def test_field_validation(self):
+        with pytest.raises(ValueError):
+            BatchSearchResult(
+                labels=np.zeros(3, dtype=np.int64),
+                logits=np.zeros(2),
+                comparisons=np.zeros(3, dtype=np.int64),
+                early_exits=np.zeros(3, dtype=bool),
+            )
+
+    def test_scalar_access_and_aggregates(self):
+        res = BatchSearchResult(
+            labels=[3, 1],
+            logits=[0.5, -1.0],
+            comparisons=[10, 4],
+            early_exits=[False, True],
+        )
+        assert len(res) == 2
+        assert res.result(1) == SearchResult(1, -1.0, 4, True)
+        assert res.mean_comparisons == 7.0
+        assert res.early_exit_rate == 0.5
+        assert res.accuracy(np.array([3, 2])) == 0.5
+        assert res.to_list() == [
+            SearchResult(3, 0.5, 10, False),
+            SearchResult(1, -1.0, 4, True),
+        ]
+
+    def test_from_results_round_trip(self):
+        originals = [SearchResult(2, 1.5, 7, False), SearchResult(0, 0.25, 1, True)]
+        assert BatchSearchResult.from_results(originals).to_list() == originals
+
+    def test_legacy_list_shape_deprecated(self, rng):
+        results = ExactMips(rng.normal(size=(6, 3))).search_batch(
+            rng.normal(size=(4, 3))
+        )
+        with pytest.warns(DeprecationWarning):
+            as_list = list(results)
+        assert len(as_list) == 4
+        with pytest.warns(DeprecationWarning):
+            first = results[0]
+        assert first == as_list[0]
+
+    def test_legacy_slicing_still_works(self, rng):
+        results = ExactMips(rng.normal(size=(6, 3))).search_batch(
+            rng.normal(size=(4, 3))
+        )
+        with pytest.warns(DeprecationWarning):
+            head = results[:2]
+        assert head == results.to_list()[:2]
+
+    def test_scan_candidates_empty_row_keeps_sentinel(self, rng):
+        from repro.mips.backend import scan_candidates
+
+        weight = rng.normal(size=(6, 3))
+        queries = rng.normal(size=(2, 3))
+        results = scan_candidates(
+            weight,
+            queries,
+            [np.array([2, 4], dtype=np.int64), np.array([], dtype=np.int64)],
+        )
+        assert results.labels[0] in (2, 4)
+        assert results.labels[1] == -1  # no candidates: -1, not index 0
+        assert results.logits[1] == -np.inf
+        assert results.comparisons.tolist() == [2, 0]
+
+    def test_record_batch_matches_scalar_records(self, rng):
+        engine = ExactMips(rng.normal(size=(8, 4)))
+        queries = rng.normal(size=(6, 4))
+        answers = rng.integers(0, 8, size=6)
+        results = engine.search_batch(queries)
+
+        batched = SearchStats()
+        batched.record_batch(results, answers)
+        scalar = SearchStats()
+        for i, result in enumerate(results.to_list()):
+            scalar.record(result, int(answers[i]))
+        assert batched == scalar

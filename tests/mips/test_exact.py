@@ -43,7 +43,56 @@ class TestExactMips:
         results = ExactMips(weight).search_batch(queries)
         assert len(results) == 4
         expected = np.argmax(queries @ weight.T, axis=1)
-        assert [r.label for r in results] == expected.tolist()
+        assert results.labels.tolist() == expected.tolist()
+        assert (results.comparisons == 7).all()
+        assert not results.early_exits.any()
 
     def test_num_indices(self, rng):
         assert ExactMips(rng.normal(size=(11, 2))).num_indices == 11
+
+
+class TestVectorizedScanRegression:
+    """Pin the vectorized scan against the seed per-row Python loop."""
+
+    def test_search_matches_reference_loop(self, rng):
+        weight = rng.normal(size=(23, 7))
+        engine = ExactMips(weight, order=rng.permutation(23))
+        for query in rng.normal(size=(40, 7)):
+            fast = engine.search(query)
+            slow = engine._search_loop(query)
+            assert fast.label == slow.label
+            assert fast.comparisons == slow.comparisons
+            assert fast.early_exit == slow.early_exit
+            assert np.isclose(fast.logit, slow.logit)
+
+    def test_tie_breaking_first_in_order_wins(self, rng):
+        """Duplicated rows create exact logit ties; the winner must be
+        the first index visited in ``order``, as with the strict-> loop."""
+        weight = rng.normal(size=(10, 4))
+        weight[7] = weight[3]  # bitwise-identical rows: exact logit tie
+        # A query aligned with the tied pair makes it the global maximum.
+        query = weight[3] * 10.0
+        for order in (
+            np.arange(10),  # 3 first
+            np.concatenate([[7], np.delete(np.arange(10), 7)]),  # 7 first
+            rng.permutation(10),
+        ):
+            engine = ExactMips(weight, order=order)
+            fast = engine.search(query)
+            slow = engine._search_loop(query)
+            assert fast.label == slow.label
+            # And the winner is whichever tied index appears first.
+            tied_first = order[np.isin(order, (3, 7))][0]
+            assert fast.label == tied_first
+
+    def test_search_batch_matches_reference_loop(self, rng):
+        weight = rng.normal(size=(15, 5))
+        order = rng.permutation(15)
+        engine = ExactMips(weight, order=order)
+        queries = rng.normal(size=(30, 5))
+        batch = engine.search_batch(queries)
+        for i, query in enumerate(queries):
+            slow = engine._search_loop(query)
+            assert batch.labels[i] == slow.label
+            assert batch.comparisons[i] == slow.comparisons
+            assert np.isclose(batch.logits[i], slow.logit)

@@ -1,0 +1,213 @@
+"""Property tests every registered MIPS backend must satisfy.
+
+Three families, per the backend contract:
+
+(a) each backend's labels agree with the brute-force argmax at least as
+    often as its documented ``min_recall``;
+(b) the exact backend — and the threshold backend whenever it does not
+    speculate — are bit-identical to the argmax over the full logit
+    matrix (the golden ``forward_trace`` output projection);
+(c) ``search_batch`` equals the per-query ``search`` loop elementwise,
+    for ragged (arbitrary-size) query sets.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mips import (
+    available_backends,
+    build_backend,
+    fit_threshold_model,
+    get_backend,
+)
+
+
+def _build(name, weight, rng):
+    """Construct a backend with a threshold model fitted to the weight's
+    own argmax structure (so the 'threshold' backend is well-posed)."""
+    train = rng.normal(size=(max(30, 8 * weight.shape[0]), weight.shape[1]))
+    logits = train @ weight.T
+    model = fit_threshold_model(logits, logits.argmax(axis=1))
+    return build_backend(name, weight, threshold_model=model, seed=0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    rows=st.integers(min_value=2, max_value=30),
+    dim=st.integers(min_value=1, max_value=10),
+    n_queries=st.integers(min_value=1, max_value=12),
+)
+def test_batch_equals_per_query_loop(seed, rows, dim, n_queries):
+    """(c) stacked batch kernel == scalar search, elementwise."""
+    rng = np.random.default_rng(seed)
+    weight = rng.normal(size=(rows, dim))
+    queries = rng.normal(size=(n_queries, dim))
+    for name in available_backends():
+        engine = _build(name, weight, rng)
+        batch = engine.search_batch(queries)
+        assert len(batch) == n_queries
+        for i, query in enumerate(queries):
+            single = engine.search(query)
+            assert single.label == batch.labels[i], name
+            assert single.comparisons == batch.comparisons[i], name
+            assert single.early_exit == batch.early_exits[i], name
+            assert np.isclose(single.logit, batch.logits[i]), name
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    rows=st.integers(min_value=2, max_value=30),
+    dim=st.integers(min_value=1, max_value=10),
+)
+def test_exact_and_threshold_bit_identical_to_argmax(seed, rows, dim):
+    """(b) exact always equals the full argmax; threshold does whenever
+    it falls back instead of speculating."""
+    rng = np.random.default_rng(seed)
+    weight = rng.normal(size=(rows, dim))
+    queries = rng.normal(size=(8, dim))
+    brute = np.argmax(queries @ weight.T, axis=1)
+
+    exact = _build("exact", weight, rng).search_batch(queries)
+    assert np.array_equal(exact.labels, brute)
+    assert (exact.comparisons == rows).all()
+    assert not exact.early_exits.any()
+
+    threshold = _build("threshold", weight, rng).search_batch(queries)
+    fallback = ~threshold.early_exits
+    assert np.array_equal(threshold.labels[fallback], brute[fallback])
+    assert (threshold.comparisons[fallback] == rows).all()
+    assert (threshold.comparisons >= 1).all()
+    assert (threshold.comparisons <= rows).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    rows=st.integers(min_value=2, max_value=25),
+    dim=st.integers(min_value=1, max_value=8),
+)
+def test_every_backend_returns_valid_results(seed, rows, dim):
+    rng = np.random.default_rng(seed)
+    weight = rng.normal(size=(rows, dim))
+    queries = rng.normal(size=(5, dim))
+    for name in available_backends():
+        results = _build(name, weight, rng).search_batch(queries)
+        assert ((results.labels >= 0) & (results.labels < rows)).all(), name
+        assert (results.comparisons >= 1).all(), name
+        # Winning logit really is the winning row's inner product.
+        recomputed = np.einsum(
+            "bd,bd->b", weight[results.labels], queries
+        )
+        assert np.allclose(results.logits, recomputed), name
+
+
+def _ith_reference(engine, query):
+    """The seed sequential Step-4 loop, independent of the batched kernel."""
+    best_index, best_logit, comparisons = -1, -np.inf, 0
+    for index in engine.order:
+        logit = float(engine.weight[index] @ query)
+        comparisons += 1
+        if logit > engine.theta[index]:
+            return int(index), logit, comparisons, True
+        if logit > best_logit:
+            best_logit, best_index = logit, int(index)
+    return best_index, best_logit, comparisons, False
+
+
+def _alsh_reference(engine, query):
+    """The seed per-query bucket-union scan."""
+    norm = float(np.linalg.norm(query))
+    q = query / norm if norm > 0 else query
+    augmented = np.concatenate([q, np.full(engine.m_augment, 0.5)])
+    union: set[int] = set()
+    for t in range(engine.n_tables):
+        code = int(engine._hash_codes(augmented[None, :], t)[0])
+        union.update(engine._tables[t].get(code, []))
+    if not union:
+        union = set(range(engine.weight.shape[0]))
+    best_index, best_logit, comparisons = -1, -np.inf, 0
+    for index in sorted(union):
+        logit = float(engine.weight[index] @ query)
+        comparisons += 1
+        if logit > best_logit:
+            best_logit, best_index = logit, index
+    return best_index, best_logit, comparisons, False
+
+
+def _clustering_reference(engine, query):
+    """The seed per-query probe-then-scan loop."""
+    centroid_scores = engine.centroids @ query
+    probe = np.argsort(-centroid_scores)[: engine.n_probe]
+    best_index, best_logit = -1, -np.inf
+    comparisons = len(centroid_scores)
+    for cluster in probe:
+        for index in engine.members[cluster]:
+            logit = float(engine.weight[index] @ query)
+            comparisons += 1
+            if logit > best_logit:
+                best_logit, best_index = logit, int(index)
+    if best_index < 0:
+        for index in range(engine.weight.shape[0]):
+            logit = float(engine.weight[index] @ query)
+            comparisons += 1
+            if logit > best_logit:
+                best_logit, best_index = logit, index
+    return best_index, best_logit, comparisons, False
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    rows=st.integers(min_value=2, max_value=30),
+    dim=st.integers(min_value=1, max_value=10),
+)
+def test_batched_kernels_match_sequential_references(seed, rows, dim):
+    """Pin every rewritten kernel against its seed sequential loop —
+    an implementation the batched path shares no code with."""
+    rng = np.random.default_rng(seed)
+    weight = rng.normal(size=(rows, dim))
+    queries = rng.normal(size=(6, dim))
+    references = {
+        "threshold": _ith_reference,
+        "alsh": _alsh_reference,
+        "clustering": _clustering_reference,
+    }
+    for name, reference in references.items():
+        engine = _build(name, weight, rng)
+        batch = engine.search_batch(queries)
+        for i, query in enumerate(queries):
+            label, logit, comparisons, early = reference(engine, query)
+            assert batch.labels[i] == label, name
+            assert batch.comparisons[i] == comparisons, name
+            assert batch.early_exits[i] == early, name
+            assert np.isclose(batch.logits[i], logit), name
+
+
+class TestDocumentedRecall:
+    """(a) agreement with brute force >= each backend's min_recall."""
+
+    @pytest.mark.parametrize("name", ["exact", "threshold", "alsh", "clustering"])
+    def test_recall_floor(self, name, rng):
+        weight = rng.normal(size=(40, 8))
+        queries = rng.normal(size=(80, 8))
+        # Fit the threshold model on the weight's own argmax structure
+        # (what Algorithm 1 does with trained-model logits).
+        train = rng.normal(size=(400, 8))
+        logits = train @ weight.T
+        model = fit_threshold_model(logits, logits.argmax(axis=1))
+        params = {"threshold_model": model, "seed": 0}
+        if name == "alsh":
+            # The tuned table shape the ALSH recall tests already use.
+            params.update(n_tables=12, n_bits=6)
+        backend_cls = get_backend(name)
+        engine = backend_cls.build(weight, **params)
+        brute = np.argmax(queries @ weight.T, axis=1)
+        recall = float((engine.search_batch(queries).labels == brute).mean())
+        assert recall >= backend_cls.min_recall, (
+            f"{name}: recall {recall:.3f} below documented floor "
+            f"{backend_cls.min_recall}"
+        )

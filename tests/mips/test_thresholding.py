@@ -112,13 +112,9 @@ class TestInferenceThresholdingSearch:
         engine = InferenceThresholding(w, tm, rho=1.0)
         queries = _queries(task1_system)
         results = engine.search_batch(queries)
-        exits = [r for r in results if r.early_exit]
-        assert exits, "no early exits on a trained model"
-        for r in exits:
-            assert r.comparisons < w.shape[0]
-        for r in results:
-            if not r.early_exit:
-                assert r.comparisons == w.shape[0]
+        assert results.early_exits.any(), "no early exits on a trained model"
+        assert (results.comparisons[results.early_exits] < w.shape[0]).all()
+        assert (results.comparisons[~results.early_exits] == w.shape[0]).all()
 
     def test_high_agreement_with_exact_at_rho_1(self, task1_system):
         w = task1_system["weights"].w_o
