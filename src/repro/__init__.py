@@ -22,13 +22,19 @@ Public API overview
     Analytic CPU/GPU baseline device models.
 ``repro.eval``
     Experiment drivers reproducing every table and figure.
+``repro.artifacts``
+    Persistent model artifacts: save/load a trained suite bit-exactly.
+``repro.serving``
+    Serving facade: ``open_predictor`` + micro-batching
+    ``BatchScheduler`` over typed query requests/responses.
 """
 
-from repro import babi, devices, eval, hw, mann, mips, nn, utils
+from repro import artifacts, babi, devices, eval, hw, mann, mips, nn, serving, utils
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "artifacts",
     "babi",
     "devices",
     "eval",
@@ -36,6 +42,7 @@ __all__ = [
     "mann",
     "mips",
     "nn",
+    "serving",
     "utils",
     "__version__",
 ]

@@ -1,0 +1,31 @@
+"""Persistent model artifacts: save a trained suite once, serve it forever.
+
+The deployment-shaped entry points of the repro:
+
+* :func:`save_suite` / :func:`load_suite` — round-trip a trained
+  :class:`~repro.eval.suite.BabiSuite` (weights, vocabulary, fitted
+  threshold models, encoded batches, training summary) through an
+  ``.npz`` + JSON directory, bit-exactly.
+* :func:`verify_artifacts` — reload a directory and prove predictions
+  and logits match the arrays recorded at save time.
+
+Built artifacts feed :func:`repro.serving.open_predictor` and every
+CLI experiment subcommand via ``--artifacts DIR``.
+"""
+
+from repro.artifacts.codec import decode_threshold_model, encode_threshold_model
+from repro.artifacts.store import (
+    FORMAT_VERSION,
+    load_suite,
+    save_suite,
+    verify_artifacts,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "decode_threshold_model",
+    "encode_threshold_model",
+    "load_suite",
+    "save_suite",
+    "verify_artifacts",
+]

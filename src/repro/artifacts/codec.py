@@ -1,0 +1,113 @@
+"""Array codecs for fitted state that is not a plain weight matrix.
+
+A fitted :class:`~repro.mips.thresholding.ThresholdModel` is the one
+non-trivial artifact: per-index histogram pairs (ragged dicts of
+:class:`LogitHistogram`), optional Gaussian KDEs (ragged sample
+vectors), priors, silhouettes and the visit order. Both directions are
+bit-exact — edges, counts, samples and bandwidths are stored verbatim,
+so ``thresholds(rho)`` of a decoded model reproduces the original to
+the last ulp.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mips.histograms import GaussianKde, LogitHistogram
+from repro.mips.thresholding import ThresholdModel
+
+
+def _encode_hists(
+    hists: dict[int, LogitHistogram], prefix: str, out: dict[str, np.ndarray]
+) -> None:
+    """Stack a per-index histogram dict into ``prefix_{indices,edges,counts}``."""
+    indices = np.array(sorted(hists), dtype=np.int64)
+    if indices.size:
+        edges = np.stack([hists[int(i)].edges for i in indices])
+        counts = np.stack([hists[int(i)].counts for i in indices])
+    else:
+        edges = np.zeros((0, 2), dtype=np.float64)
+        counts = np.zeros((0, 1), dtype=np.int64)
+    out[f"{prefix}_indices"] = indices
+    out[f"{prefix}_edges"] = edges
+    out[f"{prefix}_counts"] = counts
+
+
+def _decode_hists(
+    data, prefix: str
+) -> dict[int, LogitHistogram]:
+    hists: dict[int, LogitHistogram] = {}
+    indices = data[f"{prefix}_indices"]
+    edges = data[f"{prefix}_edges"]
+    counts = data[f"{prefix}_counts"]
+    for row, index in enumerate(indices):
+        hist = LogitHistogram(
+            float(edges[row, 0]), float(edges[row, -1]), counts.shape[1]
+        )
+        # Restore the exact fitted state: linspace re-derivation could
+        # differ in the last ulp, so the stored arrays win verbatim.
+        hist.edges = edges[row].copy()
+        hist.counts = counts[row].astype(np.int64, copy=True)
+        hists[int(index)] = hist
+    return hists
+
+
+def _encode_kdes(
+    kdes: dict[int, GaussianKde], prefix: str, out: dict[str, np.ndarray]
+) -> None:
+    """Ragged KDE samples become one concatenated vector plus offsets."""
+    indices = np.array(sorted(kdes), dtype=np.int64)
+    samples = [kdes[int(i)].samples for i in indices]
+    lengths = np.array([len(s) for s in samples], dtype=np.int64)
+    out[f"{prefix}_indices"] = indices
+    out[f"{prefix}_offsets"] = np.concatenate([[0], np.cumsum(lengths)])
+    out[f"{prefix}_samples"] = (
+        np.concatenate(samples) if samples else np.zeros(0, dtype=np.float64)
+    )
+    out[f"{prefix}_bandwidths"] = np.array(
+        [kdes[int(i)].bandwidth for i in indices], dtype=np.float64
+    )
+
+
+def _decode_kdes(data, prefix: str) -> dict[int, GaussianKde]:
+    kdes: dict[int, GaussianKde] = {}
+    indices = data[f"{prefix}_indices"]
+    offsets = data[f"{prefix}_offsets"]
+    samples = data[f"{prefix}_samples"]
+    bandwidths = data[f"{prefix}_bandwidths"]
+    for row, index in enumerate(indices):
+        chunk = samples[int(offsets[row]) : int(offsets[row + 1])].copy()
+        kdes[int(index)] = GaussianKde(chunk, bandwidth=float(bandwidths[row]))
+    return kdes
+
+
+def encode_threshold_model(model: ThresholdModel) -> dict[str, np.ndarray]:
+    """Flatten a fitted model into plain arrays for ``np.savez``."""
+    arrays: dict[str, np.ndarray] = {
+        "n_indices": np.array(model.n_indices, dtype=np.int64),
+        "priors": model.priors,
+        "silhouettes": model.silhouettes,
+        "order": model.order,
+        "uses_kde": np.array(model.uses_kde),
+    }
+    _encode_hists(model.positive_hists, "pos", arrays)
+    _encode_hists(model.negative_hists, "neg", arrays)
+    if model.uses_kde:
+        _encode_kdes(model.positive_kdes or {}, "pos_kde", arrays)
+        _encode_kdes(model.negative_kdes or {}, "neg_kde", arrays)
+    return arrays
+
+
+def decode_threshold_model(data) -> ThresholdModel:
+    """Inverse of :func:`encode_threshold_model` (npz file or dict)."""
+    uses_kde = bool(data["uses_kde"])
+    return ThresholdModel(
+        n_indices=int(data["n_indices"]),
+        positive_hists=_decode_hists(data, "pos"),
+        negative_hists=_decode_hists(data, "neg"),
+        priors=np.asarray(data["priors"], dtype=np.float64).copy(),
+        silhouettes=np.asarray(data["silhouettes"], dtype=np.float64).copy(),
+        order=np.asarray(data["order"], dtype=np.int64).copy(),
+        positive_kdes=_decode_kdes(data, "pos_kde") if uses_kde else None,
+        negative_kdes=_decode_kdes(data, "neg_kde") if uses_kde else None,
+    )

@@ -1,21 +1,32 @@
-"""Command-line interface: ``python -m repro <experiment> [options]``.
+"""Command-line interface: ``python -m repro <command> [options]``.
 
-Subcommands regenerate the paper's tables and figures from the terminal
-without writing any code:
+Experiment subcommands regenerate the paper's tables and figures;
+serving subcommands train once, persist the models and answer queries
+from the saved artifacts:
 
     python -m repro table1 --tasks 1 2 3 --n-test 40
     python -m repro fig3
     python -m repro fig4
     python -m repro ablation
     python -m repro mips --mips-backend threshold   # MIPS backend eval
+    python -m repro sweep --kind frequency          # design-space sweeps
     python -m repro resources
     python -m repro tasks           # list the 20 bAbI task generators
+
+    python -m repro train --save artifacts/         # train + persist
+    python -m repro query --artifacts artifacts/ --task 1
+    python -m repro serve-bench --artifacts artifacts/ --task 1
+
+Every suite-based experiment accepts ``--artifacts DIR`` to reuse a
+directory written by ``train --save`` instead of retraining.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
+import time
 
 from repro.babi.tasks import TASK_NAMES, all_task_ids
 from repro.eval.experiments import (
@@ -30,30 +41,53 @@ from repro.mann.config import MannConfig
 from repro.mips import available_backends
 from repro.utils.tables import TextTable
 
+#: Single source of truth for the CLI's suite-building defaults: the
+#: :class:`SuiteConfig` dataclass itself.
+_SUITE_DEFAULTS = SuiteConfig()
 
-def _add_suite_arguments(parser: argparse.ArgumentParser) -> None:
+_EPILOG = (
+    "subcommands: "
+    "table1, fig3, fig4, ablation, mips, sweep, resources, tasks, "
+    "train, query, serve-bench. "
+    "Suite-based commands accept --artifacts DIR (from `train --save DIR`) "
+    "to skip retraining."
+)
+
+
+def _add_suite_arguments(
+    parser: argparse.ArgumentParser, artifacts: bool = True
+) -> None:
     parser.add_argument(
         "--tasks",
         type=int,
         nargs="+",
-        default=list(all_task_ids()),
-        help="bAbI task ids (default: all 20)",
+        default=None,
+        help="bAbI task ids (default: all 20, or every task in --artifacts)",
     )
-    parser.add_argument("--n-train", type=int, default=150)
-    parser.add_argument("--n-test", type=int, default=50)
-    parser.add_argument("--epochs", type=int, default=30)
-    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--n-train", type=int, default=_SUITE_DEFAULTS.n_train)
+    parser.add_argument("--n-test", type=int, default=_SUITE_DEFAULTS.n_test)
+    parser.add_argument("--epochs", type=int, default=_SUITE_DEFAULTS.epochs)
+    parser.add_argument("--seed", type=int, default=_SUITE_DEFAULTS.seed)
+    if artifacts:  # `train` always trains, so it takes no --artifacts
+        parser.add_argument(
+            "--artifacts",
+            default=None,
+            metavar="DIR",
+            help="load a suite saved with `repro train --save DIR` instead of "
+            "training (ignores --n-train/--n-test/--epochs/--seed)",
+        )
 
 
 def _build_suite(args: argparse.Namespace) -> BabiSuite:
+    tasks = tuple(args.tasks) if args.tasks else tuple(all_task_ids())
     print(
-        f"building suite: {len(args.tasks)} tasks, "
+        f"building suite: {len(tasks)} tasks, "
         f"{args.n_train} train / {args.n_test} test examples each ...",
         file=sys.stderr,
     )
     return BabiSuite.build(
         SuiteConfig(
-            task_ids=tuple(args.tasks),
+            task_ids=tasks,
             n_train=args.n_train,
             n_test=args.n_test,
             epochs=args.epochs,
@@ -62,8 +96,32 @@ def _build_suite(args: argparse.Namespace) -> BabiSuite:
     )
 
 
+def _obtain_suite(args: argparse.Namespace) -> BabiSuite:
+    """Load the suite from ``--artifacts`` or train it from scratch."""
+    if args.artifacts is None:
+        return _build_suite(args)
+    from repro.artifacts import load_suite
+
+    print(f"loading suite artifacts from {args.artifacts} ...", file=sys.stderr)
+    suite = load_suite(args.artifacts)
+    if args.tasks:
+        missing = set(args.tasks) - set(suite.tasks)
+        if missing:
+            raise SystemExit(
+                f"tasks {sorted(missing)} not in {args.artifacts} "
+                f"(available: {suite.task_ids})"
+            )
+        suite.tasks = {task_id: suite.tasks[task_id] for task_id in args.tasks}
+        # Keep the suite self-describing: config must list exactly the
+        # tasks the subset holds (a later suite.save relies on it).
+        suite.config = dataclasses.replace(
+            suite.config, task_ids=tuple(args.tasks)
+        )
+    return suite
+
+
 def _cmd_table1(args: argparse.Namespace) -> None:
-    result = run_table1(_build_suite(args))
+    result = run_table1(_obtain_suite(args))
     print(result.to_table().render())
     print("\nITH inference-time reduction:")
     for mhz in result.frequencies:
@@ -71,22 +129,22 @@ def _cmd_table1(args: argparse.Namespace) -> None:
 
 
 def _cmd_fig3(args: argparse.Namespace) -> None:
-    print(run_fig3(_build_suite(args)).to_table().render())
+    print(run_fig3(_obtain_suite(args)).to_table().render())
 
 
 def _cmd_fig4(args: argparse.Namespace) -> None:
-    print(run_fig4(_build_suite(args)).to_table().render())
+    print(run_fig4(_obtain_suite(args)).to_table().render())
 
 
 def _cmd_ablation(args: argparse.Namespace) -> None:
-    print(run_interface_ablation(_build_suite(args)).to_table().render())
+    print(run_interface_ablation(_obtain_suite(args)).to_table().render())
 
 
 def _cmd_mips(args: argparse.Namespace) -> None:
     """Evaluate registered MIPS backends on the suite's test queries."""
     from repro.eval.backends import evaluate_mips_backends
 
-    suite = _build_suite(args)
+    suite = _obtain_suite(args)
     names = (
         list(available_backends())
         if args.mips_backend == "all"
@@ -113,6 +171,139 @@ def _cmd_mips(args: argparse.Namespace) -> None:
             ]
         )
     print(table.render())
+
+
+# ---------------------------------------------------------------------------
+# serving verbs
+# ---------------------------------------------------------------------------
+def _cmd_train(args: argparse.Namespace) -> None:
+    """Train the suite and persist it as a serving artifact directory."""
+    from repro.artifacts import save_suite
+
+    suite = _build_suite(args)
+    save_suite(suite, args.save)
+    table = TextTable(
+        ["task", "test accuracy", "epochs"],
+        title=f"Trained suite saved to {args.save}",
+    )
+    for task_id in suite.task_ids:
+        system = suite.tasks[task_id]
+        table.add_row(
+            [
+                str(task_id),
+                f"{system.test_accuracy:.3f}",
+                str(system.train_result.epochs_run),
+            ]
+        )
+    print(table.render())
+    print(f"mean test accuracy: {suite.mean_test_accuracy():.3f}")
+    print(f"reload with: python -m repro table1 --artifacts {args.save}")
+
+
+def _cmd_query(args: argparse.Namespace) -> None:
+    """Answer test-set queries through the unified Predictor facade."""
+    from repro.serving import QueryRequest, open_predictor
+
+    suite = BabiSuite.load(args.artifacts)
+    if args.task not in suite.tasks:
+        raise SystemExit(
+            f"task {args.task} not in {args.artifacts} "
+            f"(available: {suite.task_ids})"
+        )
+    predictor = open_predictor(
+        suite,
+        args.task,
+        device=args.device,
+        mips_backend=args.mips_backend,
+        **({"rho": args.rho} if args.mips_backend == "threshold" else {}),
+    )
+    system = suite.tasks[args.task]
+    batch = system.test_batch
+    indices = args.indices if args.indices else list(range(min(5, len(batch))))
+    table = TextTable(
+        ["example", "prediction", "truth", "ok", "comparisons", "early exit"],
+        title=f"task {args.task} queries on device={args.device} "
+        f"({args.mips_backend} backend)",
+    )
+    correct = 0
+    for i in indices:
+        if not 0 <= i < len(batch):
+            raise SystemExit(f"example index {i} outside [0, {len(batch)})")
+        response = predictor.predict(
+            QueryRequest(
+                batch.stories[i],
+                batch.questions[i],
+                n_sentences=int(batch.story_lengths[i]),
+                request_id=i,
+            )
+        )
+        truth = suite.vocab.word(int(batch.answers[i]))
+        correct += int(response.label == int(batch.answers[i]))
+        table.add_row(
+            [
+                str(i),
+                response.answer or str(response.label),
+                truth,
+                "yes" if response.label == int(batch.answers[i]) else "NO",
+                str(response.comparisons),
+                "yes" if response.early_exit else "no",
+            ]
+        )
+    print(table.render())
+    print(f"{correct}/{len(indices)} correct")
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> None:
+    """Measure micro-batching throughput vs one-at-a-time submission."""
+    from repro.serving import BatchScheduler, QueryRequest, open_predictor
+
+    suite = _obtain_suite(args)
+    task_id = args.task if args.task is not None else suite.task_ids[0]
+    predictor = open_predictor(suite, task_id, mips_backend=args.mips_backend)
+    batch = suite.tasks[task_id].test_batch
+    requests = [
+        QueryRequest(
+            batch.stories[i % len(batch)],
+            batch.questions[i % len(batch)],
+            n_sentences=int(batch.story_lengths[i % len(batch)]),
+        )
+        for i in range(args.requests)
+    ]
+
+    start = time.perf_counter()
+    for request in requests:
+        predictor.predict(request)
+    one_at_a_time = time.perf_counter() - start
+
+    scheduler = BatchScheduler(
+        predictor,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+    )
+    start = time.perf_counter()
+    with scheduler:
+        futures = [scheduler.submit(request) for request in requests]
+        for future in futures:
+            future.result()
+    scheduled = time.perf_counter() - start
+
+    table = TextTable(
+        ["submission", "requests/s", "mean batch", "mean latency (ms)"],
+        title=f"Serving throughput, task {task_id}, {args.requests} requests",
+    )
+    table.add_row(
+        ["one-at-a-time", f"{args.requests / one_at_a_time:.0f}", "1.0", "-"]
+    )
+    table.add_row(
+        [
+            f"BatchScheduler(max_batch={args.max_batch})",
+            f"{args.requests / scheduled:.0f}",
+            f"{scheduler.stats.mean_batch_size:.1f}",
+            f"{scheduler.stats.mean_latency_s * 1e3:.2f}",
+        ]
+    )
+    print(table.render())
+    print(f"micro-batching speedup: {one_at_a_time / scheduled:.1f}x")
 
 
 def _cmd_resources(args: argparse.Namespace) -> None:
@@ -189,14 +380,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce Park et al., DATE 2019 (MANN FPGA accelerator)",
+        epilog=_EPILOG,
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    for name, handler, needs_suite in (
-        ("table1", _cmd_table1, True),
-        ("fig3", _cmd_fig3, True),
-        ("fig4", _cmd_fig4, True),
-        ("ablation", _cmd_ablation, True),
+    for name, handler in (
+        ("table1", _cmd_table1),
+        ("fig3", _cmd_fig3),
+        ("fig4", _cmd_fig4),
+        ("ablation", _cmd_ablation),
     ):
         sub = subparsers.add_parser(name, help=f"reproduce {name}")
         _add_suite_arguments(sub)
@@ -219,6 +411,59 @@ def build_parser() -> argparse.ArgumentParser:
         help="thresholding constant for the 'threshold' backend",
     )
     mips.set_defaults(handler=_cmd_mips)
+
+    train = subparsers.add_parser(
+        "train", help="train the suite and save serving artifacts"
+    )
+    _add_suite_arguments(train, artifacts=False)
+    train.add_argument(
+        "--save",
+        required=True,
+        metavar="DIR",
+        help="artifact directory to write (readable by load_suite / "
+        "open_predictor / every --artifacts flag)",
+    )
+    train.set_defaults(handler=_cmd_train)
+
+    query = subparsers.add_parser(
+        "query", help="answer queries from saved artifacts via open_predictor"
+    )
+    query.add_argument("--artifacts", required=True, metavar="DIR")
+    query.add_argument("--task", type=int, required=True, help="bAbI task id")
+    query.add_argument(
+        "--indices",
+        type=int,
+        nargs="+",
+        default=None,
+        help="test-set example indices to query (default: first 5)",
+    )
+    query.add_argument(
+        "--device",
+        choices=("sw", "hw"),
+        default="sw",
+        help="vectorised engine (sw) or accelerator co-simulation (hw)",
+    )
+    query.add_argument(
+        "--mips-backend", choices=available_backends(), default="exact"
+    )
+    query.add_argument("--rho", type=float, default=1.0)
+    query.set_defaults(handler=_cmd_query)
+
+    bench = subparsers.add_parser(
+        "serve-bench",
+        help="micro-batching scheduler throughput vs one-at-a-time",
+    )
+    _add_suite_arguments(bench)
+    bench.add_argument(
+        "--task", type=int, default=None, help="task to serve (default: first)"
+    )
+    bench.add_argument("--requests", type=int, default=256)
+    bench.add_argument("--max-batch", type=int, default=32)
+    bench.add_argument("--max-wait-ms", type=float, default=5.0)
+    bench.add_argument(
+        "--mips-backend", choices=available_backends(), default="exact"
+    )
+    bench.set_defaults(handler=_cmd_serve_bench)
 
     resources = subparsers.add_parser(
         "resources", help="estimate FPGA resource utilisation"

@@ -52,11 +52,17 @@ class SuiteConfig:
 
 @dataclass
 class TaskSystem:
-    """Everything needed to run one task on any device."""
+    """Everything needed to run one task on any device.
+
+    ``train``/``test`` hold the raw :class:`BabiDataset` when the system
+    was trained in-process; systems restored from saved artifacts
+    (:mod:`repro.artifacts`) carry ``None`` there and keep only the
+    encoded batches, which is all the experiment drivers consume.
+    """
 
     task_id: int
-    train: BabiDataset
-    test: BabiDataset
+    train: BabiDataset | None
+    test: BabiDataset | None
     train_batch: EncodedBatch
     test_batch: EncodedBatch
     weights: MannWeights
@@ -68,7 +74,7 @@ class TaskSystem:
 
     @property
     def vocab_size(self) -> int:
-        return self.train.vocab_size
+        return self.weights.config.vocab_size
 
     @property
     def test_accuracy(self) -> float:
@@ -112,6 +118,24 @@ class BabiSuite:
         return float(
             np.mean([t.test_accuracy for t in self.tasks.values()])
         )
+
+    # -- persistence -----------------------------------------------------
+    def save(self, directory) -> None:
+        """Persist this suite as a deployable artifact directory.
+
+        Delegates to :func:`repro.artifacts.save_suite`; ``load`` (or
+        ``repro.serving.open_predictor``) restores it without retraining.
+        """
+        from repro.artifacts import save_suite
+
+        save_suite(self, directory)
+
+    @classmethod
+    def load(cls, directory) -> "BabiSuite":
+        """Restore a suite saved with :meth:`save` (no retraining)."""
+        from repro.artifacts import load_suite
+
+        return load_suite(directory)
 
     # ------------------------------------------------------------------
     @classmethod

@@ -48,6 +48,7 @@ class ExampleRun:
     phases: PhaseCycles
     interface: TransferStats
     ops: ExampleOpCounts
+    logit: float = float("nan")  # winning output score from the OUTPUT scan
 
 
 @dataclass
@@ -178,8 +179,8 @@ class MannAccelerator:
         story: np.ndarray,
         question: np.ndarray,
         n_sentences: int,
-    ) -> tuple[int, int, bool, int]:
-        """Stream one example; returns (label, comparisons, early, cycles)."""
+    ) -> tuple[int, int, bool, int, float]:
+        """Stream one example; returns (label, comparisons, early, cycles, logit)."""
         mem.reset_example()
         start_cycle = env.now
         hops = self.weights.config.hops
@@ -200,6 +201,7 @@ class MannAccelerator:
             answer.comparisons,
             answer.early_exit,
             env.now - start_cycle,
+            answer.logit,
         )
 
     # ------------------------------------------------------------------
@@ -231,7 +233,7 @@ class MannAccelerator:
             n_sentences = int(batch.story_lengths[i])
             story = batch.stories[i]
             question = batch.questions[i]
-            label, n_cmp, early_exit, cycles = self.run_example(
+            label, n_cmp, early_exit, cycles, logit = self.run_example(
                 env, fifo_in, fifo_out, mem, story, question, n_sentences
             )
             predictions[i] = label
@@ -257,7 +259,9 @@ class MannAccelerator:
             total_interface += transfer
             if keep_examples:
                 examples.append(
-                    ExampleRun(label, n_cmp, early_exit, cycles, phases, transfer, ops)
+                    ExampleRun(
+                        label, n_cmp, early_exit, cycles, phases, transfer, ops, logit
+                    )
                 )
 
         compute_seconds = total_cycles * self.config.cycle_time_s

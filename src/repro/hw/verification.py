@@ -112,7 +112,7 @@ def verify_against_golden(
         fifo_in, fifo_out, _control, _iw, mem, read, output = (
             accelerator._build_pipeline(env)
         )
-        label, _cmp, _early, _cycles = accelerator.run_example(
+        label, _cmp, _early, _cycles, _logit = accelerator.run_example(
             env, fifo_in, fifo_out, mem, story, question, n_sentences
         )
 

@@ -22,6 +22,20 @@ from repro.mips.backend import MipsBackend, get_backend
 from repro.mips.stats import BatchSearchResult
 
 
+def infer_story_lengths(stories: np.ndarray) -> np.ndarray:
+    """Per-example story length: index of the last non-pad sentence + 1.
+
+    Fully-empty stories count as occupying one (all-pad) slot — the
+    same inference the golden engine applies per example. Shared by
+    the batch engine and the serving facade so both paths infer
+    identical lengths when the caller does not pin them.
+    """
+    nonpad = stories.any(axis=2)  # (B, L)
+    slots = stories.shape[1]
+    last = slots - np.argmax(nonpad[:, ::-1], axis=1)
+    return np.where(nonpad.any(axis=1), last, 1).astype(np.int64)
+
+
 @dataclass
 class BatchTrace:
     """Stacked intermediates of a whole batch's forward pass.
@@ -88,6 +102,12 @@ class BatchInferenceEngine:
     :class:`BatchTrace`. With no backend (the default) or with the
     exact backend, predictions are bit-identical to the golden trace's
     ``np.argmax`` over the full logit matrix.
+
+    Serving callers normally do not construct this class directly:
+    :func:`repro.serving.open_predictor` wraps it (device ``"sw"``)
+    behind typed ``QueryRequest``/``QueryResponse`` objects, and
+    :class:`repro.serving.BatchScheduler` feeds it coalesced
+    micro-batches from individually submitted requests.
     """
 
     def __init__(
@@ -197,12 +217,7 @@ class BatchInferenceEngine:
     ) -> np.ndarray:
         batch, slots, _ = stories.shape
         if lengths is None:
-            # Per-example index of the last non-pad sentence + 1, with
-            # fully-empty stories occupying one (all-pad) slot — the
-            # same inference the golden engine applies per example.
-            nonpad = stories.any(axis=2)  # (B, L)
-            last = slots - np.argmax(nonpad[:, ::-1], axis=1)
-            return np.where(nonpad.any(axis=1), last, 1).astype(np.int64)
+            return infer_story_lengths(stories)
         lengths = np.asarray(lengths, dtype=np.int64)
         if lengths.shape != (batch,):
             raise ValueError(

@@ -46,6 +46,12 @@ class InferenceEngine:
     Only the story's real sentences occupy memory slots; padding slots
     are excluded, mirroring the accelerator which writes exactly one
     memory element per streamed sentence.
+
+    This is the low-level golden reference. For deployment-shaped
+    request/response serving over saved artifacts, use the facade:
+    :func:`repro.serving.open_predictor` hides this engine, the
+    vectorised :class:`~repro.mann.batch.BatchInferenceEngine` and the
+    accelerator co-simulation behind one ``Predictor`` object.
     """
 
     def __init__(

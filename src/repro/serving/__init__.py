@@ -1,0 +1,48 @@
+"""Serving-first public API: one facade over every inference path.
+
+The deployment story of the repro in three calls::
+
+    from repro.serving import open_predictor, BatchScheduler, QueryRequest
+
+    predictor = open_predictor("artifacts/", task_id=1,
+                               mips_backend="threshold", rho=1.0)
+    with BatchScheduler(predictor, max_batch=32) as scheduler:
+        future = scheduler.submit(QueryRequest(story, question))
+        print(future.result().answer)
+
+* :func:`open_predictor` — turns saved artifacts
+  (:mod:`repro.artifacts`), a built suite or a single task system into
+  a :class:`Predictor`, on ``device="sw"`` (vectorised batch engine,
+  any registered MIPS backend) or ``device="hw"`` (cycle-level FPGA
+  co-simulation) — same :class:`QueryRequest`/:class:`QueryResponse`
+  types either way.
+* :class:`BatchScheduler` — coalesces individually submitted requests
+  into vectorised flushes (max-batch / max-wait), recording per-request
+  latency and per-flush batch sizes in :class:`ServingStats`.
+"""
+
+from repro.serving.api import (
+    Predictor,
+    QueryRequest,
+    QueryResponse,
+    ServingStats,
+)
+from repro.serving.predictor import (
+    DEVICES,
+    HardwarePredictor,
+    SoftwarePredictor,
+    open_predictor,
+)
+from repro.serving.scheduler import BatchScheduler
+
+__all__ = [
+    "BatchScheduler",
+    "DEVICES",
+    "HardwarePredictor",
+    "Predictor",
+    "QueryRequest",
+    "QueryResponse",
+    "ServingStats",
+    "SoftwarePredictor",
+    "open_predictor",
+]

@@ -1,0 +1,114 @@
+"""Request/response types and the ``Predictor`` protocol.
+
+One typed surface for every way of answering a QA query — the
+vectorised software engine (:class:`~repro.mann.batch.BatchInferenceEngine`)
+with any registered MIPS backend, or the cycle-level accelerator
+co-simulation (:class:`~repro.hw.accelerator.MannAccelerator`). Build
+instances with :func:`repro.serving.open_predictor`; coalesce
+individually submitted requests with
+:class:`repro.serving.BatchScheduler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One QA query: an encoded story matrix and question vector.
+
+    ``story`` is ``(slots, sentence_len)`` int64 word indices (pad=0),
+    ``question`` a ``(sentence_len,)`` index vector — the same encoding
+    :class:`~repro.babi.dataset.BabiDataset.encode_example` produces.
+    ``n_sentences`` pins the number of real story sentences; ``None``
+    infers it from the last non-pad sentence, like the engines do.
+    ``request_id`` is an opaque caller tag echoed on the response.
+    """
+
+    story: np.ndarray
+    question: np.ndarray
+    n_sentences: int | None = None
+    request_id: int | str | None = None
+
+    def __post_init__(self):
+        story = np.asarray(self.story, dtype=np.int64)
+        question = np.asarray(self.question, dtype=np.int64)
+        if story.ndim != 2:
+            raise ValueError(f"story must be 2-D, got shape {story.shape}")
+        if question.ndim != 1:
+            raise ValueError(f"question must be 1-D, got shape {question.shape}")
+        object.__setattr__(self, "story", story)
+        object.__setattr__(self, "question", question)
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """The answer to one :class:`QueryRequest`.
+
+    ``label`` is the predicted vocabulary index, ``answer`` the decoded
+    word when the predictor knows the vocabulary. ``comparisons`` and
+    ``early_exit`` surface the output-search statistics (the paper's
+    Fig. 3 axes) regardless of device; ``logit`` is the winning score.
+    ``latency_s`` is filled by :class:`~repro.serving.BatchScheduler`
+    with the submit-to-answer wall time.
+    """
+
+    label: int
+    logit: float
+    comparisons: int
+    early_exit: bool
+    answer: str | None = None
+    request_id: int | str | None = None
+    latency_s: float | None = None
+
+
+@runtime_checkable
+class Predictor(Protocol):
+    """Anything that answers :class:`QueryRequest` objects.
+
+    Implementations are device-shaped wrappers created by
+    :func:`repro.serving.open_predictor`; ``predict_batch`` must accept
+    requests with heterogeneous story slot counts (they are padded to a
+    common shape internally).
+    """
+
+    def predict(self, request: QueryRequest) -> QueryResponse: ...
+
+    def predict_batch(
+        self, requests: Sequence[QueryRequest]
+    ) -> list[QueryResponse]: ...
+
+
+@dataclass
+class ServingStats:
+    """Counters a predictor or scheduler accumulates while serving.
+
+    ``batch_sizes`` records one entry per flush (the micro-batching
+    win to watch), ``latencies_s`` one entry per request.
+    """
+
+    requests: int = 0
+    flushes: int = 0
+    batch_sizes: list[int] = field(default_factory=list)
+    latencies_s: list[float] = field(default_factory=list)
+
+    def record_flush(self, batch_size: int) -> None:
+        self.flushes += 1
+        self.requests += batch_size
+        self.batch_sizes.append(batch_size)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+
+    @property
+    def mean_latency_s(self) -> float:
+        return float(np.mean(self.latencies_s)) if self.latencies_s else 0.0
+
+    @property
+    def max_latency_s(self) -> float:
+        return float(np.max(self.latencies_s)) if self.latencies_s else 0.0

@@ -1,0 +1,175 @@
+"""Micro-batching scheduler: many callers, one vectorised flush.
+
+PR 1/2 made whole-batch inference ~20x cheaper per example than the
+per-example path — but a serving frontend receives requests one at a
+time. :class:`BatchScheduler` is the piece in between: ``submit()``
+enqueues a single :class:`~repro.serving.api.QueryRequest` and returns
+a :class:`concurrent.futures.Future`; queued requests are coalesced
+into one ``predict_batch`` call when either
+
+* the queue reaches ``max_batch`` (flushed inline by the submitting
+  caller), or
+* the oldest queued request has waited ``max_wait_s`` (flushed by the
+  background worker thread), or
+* the caller forces it (``flush()`` / ``close()`` / context-manager
+  exit).
+
+Per-request latency (submit to answer) and per-flush batch sizes are
+recorded in :class:`~repro.serving.api.ServingStats` — the numbers
+``benchmarks/test_bench_serving.py`` turns into the throughput table.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, replace
+from concurrent.futures import Future
+
+from repro.serving.api import Predictor, QueryRequest, QueryResponse, ServingStats
+
+
+@dataclass
+class _Pending:
+    request: QueryRequest
+    future: Future
+    submitted_at: float
+
+
+class BatchScheduler:
+    """Coalesces individually submitted requests into vectorised batches.
+
+    ``predictor`` is anything satisfying the
+    :class:`~repro.serving.api.Predictor` protocol. With
+    ``start_worker=False`` no thread is spawned and flushes happen only
+    on max-batch, ``flush()`` or ``close()`` — fully deterministic, the
+    mode the unit tests use.
+    """
+
+    def __init__(
+        self,
+        predictor: Predictor,
+        max_batch: int = 32,
+        max_wait_s: float = 0.005,
+        start_worker: bool = True,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+        self.predictor = predictor
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self.stats = ServingStats()
+        self._pending: list[_Pending] = []
+        self._cond = threading.Condition()
+        self._exec_lock = threading.Lock()
+        self._closed = False
+        self._worker: threading.Thread | None = None
+        if start_worker:
+            self._worker = threading.Thread(
+                target=self._worker_loop, name="BatchScheduler", daemon=True
+            )
+            self._worker.start()
+
+    # -- client side ---------------------------------------------------
+    def submit(self, request: QueryRequest) -> "Future[QueryResponse]":
+        """Enqueue one request; the Future resolves at the next flush."""
+        future: Future = Future()
+        batch: list[_Pending] = []
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            self._pending.append(_Pending(request, future, time.perf_counter()))
+            if len(self._pending) >= self.max_batch:
+                batch = self._pending[: self.max_batch]
+                del self._pending[: self.max_batch]
+            elif len(self._pending) == 1:
+                # Wake the worker only to arm a deadline for a newly
+                # non-empty queue; notifying on every submit would
+                # GIL-thrash against busy submitters.
+                self._cond.notify_all()
+        if batch:  # full batch: the submitting caller pays the flush
+            self._execute(batch)
+        return future
+
+    def flush(self) -> None:
+        """Drain every queued request now, in the calling thread."""
+        while True:
+            with self._cond:
+                batch = self._pending[: self.max_batch]
+                del self._pending[: len(batch)]
+            if not batch:
+                return
+            self._execute(batch)
+
+    def close(self) -> None:
+        """Flush outstanding requests and stop the worker. Idempotent."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        if self._worker is not None:
+            self._worker.join()
+            self._worker = None
+        self.flush()
+
+    def __enter__(self) -> "BatchScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def pending(self) -> int:
+        with self._cond:
+            return len(self._pending)
+
+    # -- flush machinery -----------------------------------------------
+    def _worker_loop(self) -> None:
+        """Flush queues whose oldest request has aged past max_wait_s."""
+        while True:
+            with self._cond:
+                while not self._pending and not self._closed:
+                    self._cond.wait()
+                if self._closed:
+                    return  # close() drains what is left
+                deadline = self._pending[0].submitted_at + self.max_wait_s
+                now = time.perf_counter()
+                while (
+                    self._pending
+                    and not self._closed
+                    and len(self._pending) < self.max_batch
+                    and now < deadline
+                ):
+                    self._cond.wait(timeout=deadline - now)
+                    now = time.perf_counter()
+                    if self._pending:
+                        deadline = self._pending[0].submitted_at + self.max_wait_s
+                batch = self._pending[: self.max_batch]
+                del self._pending[: len(batch)]
+            self._execute(batch)
+
+    def _execute(self, batch: list[_Pending]) -> None:
+        # Transition every future to RUNNING first: a future the caller
+        # already cancelled drops out here, and the rest can no longer
+        # be cancelled, so set_result/set_exception below cannot raise
+        # InvalidStateError (which would kill the worker thread and
+        # strand the remaining futures of the batch).
+        batch = [p for p in batch if p.future.set_running_or_notify_cancel()]
+        if not batch:
+            return
+        with self._exec_lock:  # one predictor call at a time
+            try:
+                responses = self.predictor.predict_batch(
+                    [p.request for p in batch]
+                )
+            except Exception as error:  # propagate to every waiter
+                for pending in batch:
+                    pending.future.set_exception(error)
+                return
+            done = time.perf_counter()
+            self.stats.record_flush(len(batch))
+            for pending, response in zip(batch, responses):
+                latency = done - pending.submitted_at
+                self.stats.latencies_s.append(latency)
+                pending.future.set_result(replace(response, latency_s=latency))

@@ -165,6 +165,22 @@ class TestBatchSearchResult:
             head = results[:2]
         assert head == results.to_list()[:2]
 
+    def test_legacy_shapes_match_stacked_arrays(self, rng):
+        """Iteration and indexing reproduce the stacked arrays exactly."""
+        results = ExactMips(rng.normal(size=(6, 3))).search_batch(
+            rng.normal(size=(5, 3))
+        )
+        with pytest.warns(DeprecationWarning):
+            iterated = list(results)
+        with pytest.warns(DeprecationWarning):
+            indexed = [results[i] for i in range(len(results))]
+        assert iterated == indexed
+        for i, scalar in enumerate(iterated):
+            assert scalar.label == int(results.labels[i])
+            assert scalar.logit == float(results.logits[i])
+            assert scalar.comparisons == int(results.comparisons[i])
+            assert scalar.early_exit == bool(results.early_exits[i])
+
     def test_scan_candidates_empty_row_keeps_sentinel(self, rng):
         from repro.mips.backend import scan_candidates
 

@@ -1,0 +1,28 @@
+"""Fixtures for the serving/artifacts layer: one tiny trained suite.
+
+Training two 30-example tasks for 5 epochs takes well under a second,
+so these tests build their own suite instead of the heavier session
+``small_suite`` — artifact and predictor assertions only need trained
+(not accurate) models.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.artifacts import save_suite
+from repro.eval.suite import BabiSuite, SuiteConfig
+
+
+@pytest.fixture(scope="package")
+def tiny_suite() -> BabiSuite:
+    return BabiSuite.build(
+        SuiteConfig(task_ids=(1, 6), n_train=30, n_test=10, epochs=5, seed=9)
+    )
+
+
+@pytest.fixture(scope="package")
+def artifacts_dir(tiny_suite, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("suite_artifacts")
+    save_suite(tiny_suite, directory)
+    return directory

@@ -1,0 +1,139 @@
+"""Artifact round-trip: save_suite / load_suite must be bit-exact."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.artifacts import (
+    FORMAT_VERSION,
+    decode_threshold_model,
+    encode_threshold_model,
+    load_suite,
+    save_suite,
+    verify_artifacts,
+)
+from repro.eval.experiments import run_table1
+from repro.eval.suite import BabiSuite, SuiteConfig
+from repro.mips.thresholding import fit_threshold_model
+
+
+class TestRoundTrip:
+    def test_config_and_vocab_survive(self, tiny_suite, artifacts_dir):
+        loaded = load_suite(artifacts_dir)
+        assert loaded.config == tiny_suite.config
+        assert loaded.task_ids == tiny_suite.task_ids
+        assert loaded.vocab.words() == tiny_suite.vocab.words()
+
+    def test_weights_bit_exact(self, tiny_suite, artifacts_dir):
+        loaded = load_suite(artifacts_dir)
+        for task_id, system in tiny_suite.tasks.items():
+            restored = loaded.tasks[task_id]
+            for name in ("w_emb_a", "w_emb_c", "w_emb_q", "w_r", "w_o", "t_a", "t_c"):
+                original = getattr(system.weights, name)
+                assert np.array_equal(getattr(restored.weights, name), original)
+                assert getattr(restored.weights, name).dtype == original.dtype
+
+    def test_logits_and_predictions_bit_exact(self, tiny_suite, artifacts_dir):
+        """load_suite(save_suite(suite)) reproduces identical outputs."""
+        loaded = load_suite(artifacts_dir)
+        for task_id, system in tiny_suite.tasks.items():
+            restored = loaded.tasks[task_id]
+            batch = system.test_batch
+            args = (batch.stories, batch.questions, batch.story_lengths)
+            assert np.array_equal(
+                restored.batch_engine.logits(*args), system.batch_engine.logits(*args)
+            )
+            assert np.array_equal(
+                restored.batch_engine.predict(*args),
+                system.batch_engine.predict(*args),
+            )
+            assert np.array_equal(restored.train_logits, system.train_logits)
+
+    def test_threshold_model_bit_exact(self, tiny_suite, artifacts_dir):
+        loaded = load_suite(artifacts_dir)
+        for task_id, system in tiny_suite.tasks.items():
+            restored = loaded.tasks[task_id].threshold_model
+            original = system.threshold_model
+            assert np.array_equal(restored.order, original.order)
+            assert np.array_equal(restored.silhouettes, original.silhouettes)
+            for rho in (1.0, 0.99, 0.9):
+                assert np.array_equal(
+                    restored.thresholds(rho), original.thresholds(rho)
+                )
+
+    def test_encoded_batches_and_summary_survive(self, tiny_suite, artifacts_dir):
+        loaded = load_suite(artifacts_dir)
+        for task_id, system in tiny_suite.tasks.items():
+            restored = loaded.tasks[task_id]
+            assert np.array_equal(
+                restored.test_batch.answers, system.test_batch.answers
+            )
+            assert np.array_equal(
+                restored.train_batch.stories, system.train_batch.stories
+            )
+            assert restored.test_accuracy == system.test_accuracy
+            assert (
+                restored.train_result.majority_accuracy
+                == system.train_result.majority_accuracy
+            )
+            assert restored.train is None and restored.test is None
+            assert restored.vocab_size == system.vocab_size
+
+    def test_verify_artifacts_passes(self, artifacts_dir):
+        suite = verify_artifacts(artifacts_dir)
+        assert suite.task_ids == [1, 6]
+
+    def test_suite_save_load_methods(self, tiny_suite, tmp_path):
+        tiny_suite.save(tmp_path / "arts")
+        loaded = BabiSuite.load(tmp_path / "arts")
+        assert loaded.task_ids == tiny_suite.task_ids
+
+
+class TestExperimentsFromArtifacts:
+    def test_table1_matches_fresh_suite(self, tiny_suite, artifacts_dir):
+        """`table1 --artifacts DIR` == freshly built suite, no retraining."""
+        fresh = run_table1(tiny_suite)
+        restored = run_table1(load_suite(artifacts_dir))
+        assert restored.rows == fresh.rows
+        assert restored.accuracy_plain == fresh.accuracy_plain
+        assert restored.accuracy_ith == fresh.accuracy_ith
+
+
+class TestKdeCodec:
+    def test_kde_threshold_model_round_trips(self, tiny_suite):
+        system = tiny_suite.tasks[1]
+        model = fit_threshold_model(
+            system.train_logits, system.train_batch.answers, density="kde"
+        )
+        restored = decode_threshold_model(encode_threshold_model(model))
+        assert restored.uses_kde
+        assert np.array_equal(restored.thresholds(0.9), model.thresholds(0.9))
+
+
+class TestFailureModes:
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_suite(tmp_path / "nope")
+
+    def test_version_mismatch_rejected(self, tiny_suite, tmp_path):
+        directory = save_suite(tiny_suite, tmp_path / "arts")
+        marker = directory / "suite.json"
+        manifest = json.loads(marker.read_text())
+        manifest["format_version"] = FORMAT_VERSION + 1
+        marker.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="format version"):
+            load_suite(directory)
+
+    def test_refuses_to_mix_suites(self, tiny_suite, tmp_path):
+        directory = save_suite(tiny_suite, tmp_path / "arts")
+        other = BabiSuite.build(
+            SuiteConfig(task_ids=(2,), n_train=20, n_test=5, epochs=2, seed=1)
+        )
+        with pytest.raises(FileExistsError):
+            save_suite(other, directory)
+
+    def test_resave_same_suite_is_allowed(self, tiny_suite, tmp_path):
+        directory = save_suite(tiny_suite, tmp_path / "arts")
+        save_suite(tiny_suite, directory)  # idempotent overwrite
+        assert verify_artifacts(directory).task_ids == [1, 6]

@@ -1,0 +1,179 @@
+"""Micro-batching scheduler semantics, against a stub predictor.
+
+A stub keeps these tests fast and deterministic: the scheduler only
+needs the ``predict_batch`` protocol, and real-engine equivalence is
+covered at the end against the tiny trained suite.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serving import BatchScheduler, QueryRequest, QueryResponse, open_predictor
+
+
+def _request(i: int) -> QueryRequest:
+    return QueryRequest(
+        story=np.full((2, 3), i + 1, dtype=np.int64),
+        question=np.array([i + 1, 0, 0], dtype=np.int64),
+        request_id=i,
+    )
+
+
+class StubPredictor:
+    """Echoes request ids back as labels and records flush sizes."""
+
+    def __init__(self, fail: bool = False):
+        self.flush_sizes: list[int] = []
+        self.fail = fail
+
+    def predict(self, request):
+        return self.predict_batch([request])[0]
+
+    def predict_batch(self, requests):
+        if self.fail:
+            raise RuntimeError("backend down")
+        self.flush_sizes.append(len(requests))
+        return [
+            QueryResponse(
+                label=int(r.request_id),
+                logit=0.0,
+                comparisons=1,
+                early_exit=False,
+                request_id=r.request_id,
+            )
+            for r in requests
+        ]
+
+
+class TestManualMode:
+    def test_flush_resolves_everything(self):
+        stub = StubPredictor()
+        scheduler = BatchScheduler(stub, max_batch=8, start_worker=False)
+        futures = [scheduler.submit(_request(i)) for i in range(5)]
+        assert scheduler.pending == 5
+        assert not any(f.done() for f in futures)
+        scheduler.flush()
+        assert [f.result().label for f in futures] == list(range(5))
+        assert stub.flush_sizes == [5]
+
+    def test_max_batch_flushes_inline(self):
+        stub = StubPredictor()
+        scheduler = BatchScheduler(stub, max_batch=3, start_worker=False)
+        futures = [scheduler.submit(_request(i)) for i in range(7)]
+        # Two full batches flushed at submit time, one request queued.
+        assert stub.flush_sizes == [3, 3]
+        assert scheduler.pending == 1
+        assert futures[5].done() and not futures[6].done()
+        scheduler.close()
+        assert stub.flush_sizes == [3, 3, 1]
+        assert futures[6].result().label == 6
+
+    def test_stats_and_latency(self):
+        scheduler = BatchScheduler(StubPredictor(), max_batch=4, start_worker=False)
+        futures = [scheduler.submit(_request(i)) for i in range(4)]
+        response = futures[0].result()
+        assert response.latency_s is not None and response.latency_s >= 0
+        assert scheduler.stats.requests == 4
+        assert scheduler.stats.flushes == 1
+        assert scheduler.stats.batch_sizes == [4]
+        assert scheduler.stats.mean_batch_size == 4.0
+        assert len(scheduler.stats.latencies_s) == 4
+        assert scheduler.stats.max_latency_s >= scheduler.stats.mean_latency_s
+
+    def test_error_propagates_to_futures(self):
+        scheduler = BatchScheduler(StubPredictor(fail=True), max_batch=2, start_worker=False)
+        futures = [scheduler.submit(_request(i)) for i in range(2)]
+        with pytest.raises(RuntimeError, match="backend down"):
+            futures[0].result()
+        assert isinstance(futures[1].exception(), RuntimeError)
+
+    def test_cancelled_future_skipped_not_fatal(self):
+        """A caller-cancelled future must not poison the flush."""
+        stub = StubPredictor()
+        scheduler = BatchScheduler(stub, max_batch=8, start_worker=False)
+        futures = [scheduler.submit(_request(i)) for i in range(3)]
+        assert futures[1].cancel()
+        scheduler.flush()
+        assert futures[0].result().label == 0
+        assert futures[2].result().label == 2
+        assert futures[1].cancelled()
+        assert stub.flush_sizes == [2]  # the cancelled request never ran
+
+    def test_submit_after_close_rejected(self):
+        scheduler = BatchScheduler(StubPredictor(), start_worker=False)
+        scheduler.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            scheduler.submit(_request(0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchScheduler(StubPredictor(), max_batch=0, start_worker=False)
+        with pytest.raises(ValueError):
+            BatchScheduler(StubPredictor(), max_wait_s=-1.0, start_worker=False)
+
+
+class TestWorker:
+    def test_max_wait_flushes_partial_batch(self):
+        stub = StubPredictor()
+        with BatchScheduler(stub, max_batch=64, max_wait_s=0.01) as scheduler:
+            futures = [scheduler.submit(_request(i)) for i in range(3)]
+            results = [f.result(timeout=5.0) for f in futures]
+        assert [r.label for r in results] == [0, 1, 2]
+        assert sum(stub.flush_sizes) == 3
+        assert all(size < 64 for size in stub.flush_sizes)
+
+    def test_concurrent_submitters(self):
+        stub = StubPredictor()
+        scheduler = BatchScheduler(stub, max_batch=16, max_wait_s=0.005)
+        futures: dict[int, object] = {}
+        lock = threading.Lock()
+
+        def client(offset: int):
+            for i in range(offset, offset + 25):
+                future = scheduler.submit(_request(i))
+                with lock:
+                    futures[i] = future
+                time.sleep(0)
+
+        threads = [threading.Thread(target=client, args=(base,)) for base in (0, 25, 50, 75)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        results = {i: f.result(timeout=5.0).label for i, f in futures.items()}
+        scheduler.close()
+        assert results == {i: i for i in range(100)}
+        assert scheduler.stats.requests == 100
+        assert sum(stub.flush_sizes) == 100
+
+    def test_close_drains_pending(self):
+        stub = StubPredictor()
+        scheduler = BatchScheduler(stub, max_batch=64, max_wait_s=30.0)
+        futures = [scheduler.submit(_request(i)) for i in range(5)]
+        scheduler.close()  # long max_wait: only close() can flush these
+        assert [f.result(timeout=1.0).label for f in futures] == list(range(5))
+        scheduler.close()  # idempotent
+
+
+class TestWithRealPredictor:
+    def test_scheduled_results_match_direct_calls(self, tiny_suite):
+        system = tiny_suite.tasks[1]
+        batch = system.test_batch
+        predictor = open_predictor(tiny_suite, 1, mips_backend="threshold", rho=1.0)
+        requests = [
+            QueryRequest(batch.stories[i], batch.questions[i], int(batch.story_lengths[i]))
+            for i in range(len(batch))
+        ]
+        direct = [predictor.predict(r) for r in requests]
+        with BatchScheduler(predictor, max_batch=4, max_wait_s=0.01) as scheduler:
+            futures = [scheduler.submit(r) for r in requests]
+            scheduled = [f.result(timeout=10.0) for f in futures]
+        assert [r.label for r in scheduled] == [r.label for r in direct]
+        assert [r.comparisons for r in scheduled] == [r.comparisons for r in direct]
+        assert scheduler.stats.requests == len(batch)
+        assert scheduler.stats.mean_batch_size > 1.0
