@@ -24,6 +24,11 @@ MAX_BATCH = 32
 #: measured runs show far more (the batch engine is ~20x cheaper per
 #: example and scheduler overhead is microseconds per request).
 MIN_SPEEDUP = 2.0
+#: Best-of-N on both phases: on congested single-core machines the
+#: deadline thread can GIL-convoy with the submitting thread for a
+#: whole run, so a single sample of the scheduled phase is noisy (same
+#: technique as test_bench_mips).
+REPEATS = 3
 
 
 def _requests(batch, n: int) -> list[QueryRequest]:
@@ -47,16 +52,31 @@ def test_scheduler_throughput_vs_one_at_a_time(full_suite):
     predictor.predict(requests[0])
     predictor.predict_batch(requests[:MAX_BATCH])
 
-    start = time.perf_counter()
-    single_responses = [predictor.predict(request) for request in requests]
-    single_seconds = time.perf_counter() - start
+    single_seconds, single_responses = None, None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        single_responses = [predictor.predict(request) for request in requests]
+        seconds = time.perf_counter() - start
+        single_seconds = (
+            seconds if single_seconds is None else min(single_seconds, seconds)
+        )
 
-    scheduler = BatchScheduler(predictor, max_batch=MAX_BATCH, max_wait_s=0.005)
-    start = time.perf_counter()
-    with scheduler:
-        futures = [scheduler.submit(request) for request in requests]
-        scheduled_responses = [future.result() for future in futures]
-    scheduled_seconds = time.perf_counter() - start
+    scheduled_seconds, scheduled_responses, scheduler = None, None, None
+    for _ in range(REPEATS):
+        candidate = BatchScheduler(
+            predictor, max_batch=MAX_BATCH, max_wait_s=0.005
+        )
+        start = time.perf_counter()
+        with candidate:
+            futures = [candidate.submit(request) for request in requests]
+            responses = [future.result() for future in futures]
+        seconds = time.perf_counter() - start
+        if scheduled_seconds is None or seconds < scheduled_seconds:
+            scheduled_seconds, scheduled_responses, scheduler = (
+                seconds,
+                responses,
+                candidate,
+            )
 
     assert [r.label for r in scheduled_responses] == [
         r.label for r in single_responses

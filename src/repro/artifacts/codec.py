@@ -1,20 +1,62 @@
-"""Array codecs for fitted state that is not a plain weight matrix.
+"""Array codecs (and the manifest format version) for fitted state.
 
-A fitted :class:`~repro.mips.thresholding.ThresholdModel` is the one
+A fitted :class:`~repro.mips.thresholding.ThresholdModel` is one
 non-trivial artifact: per-index histogram pairs (ragged dicts of
 :class:`LogitHistogram`), optional Gaussian KDEs (ragged sample
-vectors), priors, silhouettes and the visit order. Both directions are
-bit-exact — edges, counts, samples and bandwidths are stored verbatim,
-so ``thresholds(rho)`` of a decoded model reproduces the original to
-the last ulp.
+vectors), priors, silhouettes and the visit order. The other is a
+:class:`~repro.mann.quantize.QuantizedWeights` snapshot, stored as the
+integer codes a device memory would hold plus its Qm.n format. Both
+directions of both codecs are bit-exact — edges, counts, samples,
+bandwidths and codes are stored verbatim, and fixed-point
+dequantisation multiplies by an exact power of two.
+
+The artifact manifest (``suite.json``) carries ``format_version`` so a
+reader can tell a directory written by a newer build from a corrupt
+one. Version history:
+
+* **1** — PR 3: weights, vocab, threshold models, encoded batches.
+* **2** — PR 4: optional per-task quantized weights (``quantized.npz``
+  + a ``quantization`` block in ``meta.json``). Version-1 directories
+  simply lack the optional files and still load.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.mann.quantize import QFormat, QuantizedWeights
 from repro.mips.histograms import GaussianKde, LogitHistogram
 from repro.mips.thresholding import ThresholdModel
+
+#: Version written into every new manifest.
+FORMAT_VERSION = 2
+#: Versions this build can read (additive format changes only).
+SUPPORTED_VERSIONS = (1, 2)
+
+
+def check_format_version(version) -> int:
+    """Validate a manifest's ``format_version``; returns it as an int.
+
+    Unknown *future* versions get a clear upgrade message instead of an
+    arbitrary KeyError deep inside the loader.
+    """
+    if not isinstance(version, int):
+        raise ValueError(
+            f"artifact manifest has no integer format_version (got "
+            f"{version!r}); the directory is not a suite artifact"
+        )
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError(
+            f"artifact format version {version} not supported: this build "
+            f"reads versions {SUPPORTED_VERSIONS}"
+            + (
+                " — the artifacts were written by a newer build; "
+                "upgrade this checkout or re-save the suite"
+                if version > FORMAT_VERSION
+                else ""
+            )
+        )
+    return version
 
 
 def _encode_hists(
@@ -96,6 +138,32 @@ def encode_threshold_model(model: ThresholdModel) -> dict[str, np.ndarray]:
         _encode_kdes(model.positive_kdes or {}, "pos_kde", arrays)
         _encode_kdes(model.negative_kdes or {}, "neg_kde", arrays)
     return arrays
+
+
+def encode_quantized_weights(quantized: QuantizedWeights) -> dict[str, np.ndarray]:
+    """Flatten a fixed-point snapshot into integer-code arrays."""
+    arrays: dict[str, np.ndarray] = {
+        "int_bits": np.array(quantized.qformat.int_bits, dtype=np.int64),
+        "frac_bits": np.array(quantized.qformat.frac_bits, dtype=np.int64),
+    }
+    for name, codes in quantized.codes().items():
+        arrays[f"code_{name}"] = codes
+    return arrays
+
+
+def decode_quantized_weights(data, config) -> QuantizedWeights:
+    """Inverse of :func:`encode_quantized_weights` (npz file or dict).
+
+    ``config`` is the task's :class:`~repro.mann.config.MannConfig`;
+    the rebuilt float weights land exactly on the stored grid.
+    """
+    qformat = QFormat(int(data["int_bits"]), int(data["frac_bits"]))
+    codes = {
+        key[len("code_"):]: np.asarray(data[key])
+        for key in data
+        if key.startswith("code_")
+    }
+    return QuantizedWeights.from_codes(config, qformat, codes)
 
 
 def decode_threshold_model(data) -> ThresholdModel:

@@ -13,6 +13,7 @@ a single training step. Layout::
         arrays.npz          # weights, encoded batches, train logits,
                             # reference test predictions
         threshold.npz       # fitted ThresholdModel (see codec.py)
+        quantized.npz       # optional Qm.n integer codes (format v2)
         meta.json           # MannConfig + TrainResult summary
       task_02/ ...
 
@@ -20,8 +21,11 @@ Everything numeric round-trips bit-exactly (``np.savez`` preserves
 dtype and bits; JSON floats use ``repr`` round-tripping), which
 :func:`verify_artifacts` checks by recomputing predictions and logits
 from the restored weights. The serving layer
-(:func:`repro.serving.open_predictor`) accepts these directories
-directly.
+(:func:`repro.serving.open_predictor`,
+:class:`repro.serving.ModelRouter`) accepts these directories directly;
+``save_suite(..., qformat=QFormat(3, 8))`` additionally persists a
+fixed-point snapshot of every task so quantized models can be served
+with ``open_predictor(..., quantized=True)``.
 """
 
 from __future__ import annotations
@@ -32,16 +36,22 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.artifacts.codec import decode_threshold_model, encode_threshold_model
+from repro.artifacts.codec import (
+    FORMAT_VERSION,
+    check_format_version,
+    decode_quantized_weights,
+    decode_threshold_model,
+    encode_quantized_weights,
+    encode_threshold_model,
+)
 from repro.babi.dataset import EncodedBatch
 from repro.babi.vocab import Vocab
 from repro.eval.suite import BabiSuite, SuiteConfig, TaskSystem
 from repro.mann.config import MannConfig
 from repro.mann.inference import InferenceEngine
+from repro.mann.quantize import QFormat, QuantizedWeights
 from repro.mann.trainer import TrainResult
 from repro.mann.weights import MannWeights
-
-FORMAT_VERSION = 1
 
 _WEIGHT_FIELDS = ("w_emb_a", "w_emb_c", "w_emb_q", "w_r", "w_o", "t_a", "t_c")
 _BATCH_FIELDS = ("stories", "questions", "answers", "story_lengths")
@@ -54,12 +64,17 @@ def _task_dirname(task_id: int) -> str:
 # ---------------------------------------------------------------------------
 # save
 # ---------------------------------------------------------------------------
-def save_suite(suite: BabiSuite, directory) -> Path:
+def save_suite(suite: BabiSuite, directory, qformat: QFormat | None = None) -> Path:
     """Write ``suite`` to ``directory`` (created if missing).
 
     Returns the directory as a :class:`~pathlib.Path`. Raises if the
     directory already holds a ``suite.json`` for different task ids —
-    refusing to silently mix two suites in one place.
+    refusing to silently mix two suites in one place. With ``qformat``
+    every task additionally persists a fixed-point snapshot
+    (:class:`~repro.mann.quantize.QuantizedWeights`) servable via
+    ``open_predictor(..., quantized=True)``; without it, any quantized
+    snapshot already attached to a task (e.g. from a previous load)
+    is preserved as-is.
     """
     directory = Path(directory)
     marker = directory / "suite.json"
@@ -74,7 +89,7 @@ def save_suite(suite: BabiSuite, directory) -> Path:
     directory.mkdir(parents=True, exist_ok=True)
 
     for task_id, system in suite.tasks.items():
-        _save_task_system(system, directory / _task_dirname(task_id))
+        _save_task_system(system, directory / _task_dirname(task_id), qformat)
 
     marker.write_text(
         json.dumps(
@@ -91,7 +106,9 @@ def save_suite(suite: BabiSuite, directory) -> Path:
     return directory
 
 
-def _save_task_system(system: TaskSystem, task_dir: Path) -> None:
+def _save_task_system(
+    system: TaskSystem, task_dir: Path, qformat: QFormat | None = None
+) -> None:
     task_dir.mkdir(parents=True, exist_ok=True)
     arrays: dict[str, np.ndarray] = {
         name: getattr(system.weights, name) for name in _WEIGHT_FIELDS
@@ -112,6 +129,14 @@ def _save_task_system(system: TaskSystem, task_dir: Path) -> None:
         task_dir / "threshold.npz", **encode_threshold_model(system.threshold_model)
     )
 
+    quantized = system.quantized
+    if qformat is not None:  # explicit request wins: re-snap the floats
+        quantized, _ = QuantizedWeights.quantize(system.weights, qformat)
+    if quantized is not None:
+        np.savez(
+            task_dir / "quantized.npz", **encode_quantized_weights(quantized)
+        )
+
     result = system.train_result
     meta = {
         "task_id": system.task_id,
@@ -124,6 +149,11 @@ def _save_task_system(system: TaskSystem, task_dir: Path) -> None:
             "epochs_run": result.epochs_run,
         },
     }
+    if quantized is not None:
+        meta["quantization"] = {
+            "int_bits": quantized.qformat.int_bits,
+            "frac_bits": quantized.qformat.frac_bits,
+        }
     (task_dir / "meta.json").write_text(json.dumps(meta, indent=2) + "\n")
 
 
@@ -143,12 +173,7 @@ def load_suite(directory) -> BabiSuite:
     if not marker.is_file():
         raise FileNotFoundError(f"no suite artifacts at {directory} (suite.json missing)")
     manifest = json.loads(marker.read_text())
-    version = manifest.get("format_version")
-    if version != FORMAT_VERSION:
-        raise ValueError(
-            f"artifact format version {version!r} not supported "
-            f"(this build reads version {FORMAT_VERSION})"
-        )
+    check_format_version(manifest.get("format_version"))
 
     words = manifest["vocab"]
     vocab = Vocab(words[1:])  # index 0 is always the reserved pad token
@@ -184,6 +209,11 @@ def _load_task_system(task_dir: Path) -> TaskSystem:
     with np.load(task_dir / "threshold.npz") as data:
         threshold_model = decode_threshold_model(data)
 
+    quantized = None
+    if (task_dir / "quantized.npz").is_file():
+        with np.load(task_dir / "quantized.npz") as data:
+            quantized = decode_quantized_weights(data, model_config)
+
     summary = meta["train_result"]
     train_result = TrainResult(
         model=None,  # the autograd model is not persisted, only its weights
@@ -206,6 +236,7 @@ def _load_task_system(task_dir: Path) -> TaskSystem:
         threshold_model=threshold_model,
         train_result=train_result,
         train_logits=train_logits,
+        quantized=quantized,
     )
 
 
@@ -246,4 +277,16 @@ def verify_artifacts(directory) -> BabiSuite:
             raise AssertionError(
                 f"task {task_id}: restored train logits are not bit-exact"
             )
+        if system.quantized is not None:
+            # The fixed-point snapshot must be exactly the float model
+            # snapped to its stored grid — re-quantise and compare.
+            qformat = system.quantized.qformat
+            for name in _WEIGHT_FIELDS:
+                restored = getattr(system.quantized.weights, name)
+                expected = qformat.quantize(getattr(system.weights, name))
+                if not np.array_equal(restored, expected):
+                    raise AssertionError(
+                        f"task {task_id}: quantized weight {name} does not "
+                        f"match the float model snapped to {qformat}"
+                    )
     return suite

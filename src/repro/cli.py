@@ -14,11 +14,21 @@ from the saved artifacts:
     python -m repro tasks           # list the 20 bAbI task generators
 
     python -m repro train --save artifacts/         # train + persist
-    python -m repro query --artifacts artifacts/ --task 1
-    python -m repro serve-bench --artifacts artifacts/ --task 1
+    python -m repro train --save artifacts/ --quantize 3 8   # + fixed point
+    python -m repro query --artifacts artifacts/ --task 1 [--quantized]
+    python -m repro serve-bench --artifacts artifacts/ --tasks 1 6 \
+        --workers 4 --shards 4
 
 Every suite-based experiment accepts ``--artifacts DIR`` to reuse a
 directory written by ``train --save`` instead of retraining.
+
+``serve-bench`` drives the sharded multi-task serving runtime: one
+``ModelRouter`` holding a predictor per task behind a single scheduler,
+whose flushes a pool of ``--workers`` threads executes as concurrent
+sub-batches, each predictor scanning through a ``sharded:<backend>``
+MIPS engine partitioned ``--shards`` ways along ``--shard-axis``. It
+reports one-at-a-time vs single-worker vs worker-pool throughput and
+per-route traffic.
 """
 
 from __future__ import annotations
@@ -50,7 +60,12 @@ _EPILOG = (
     "table1, fig3, fig4, ablation, mips, sweep, resources, tasks, "
     "train, query, serve-bench. "
     "Suite-based commands accept --artifacts DIR (from `train --save DIR`) "
-    "to skip retraining."
+    "to skip retraining. "
+    "Serving: `train --quantize M N` persists fixed-point weights that "
+    "`query --quantized` serves; `serve-bench --workers W --shards S "
+    "--tasks ...` routes a mixed-task request stream through one "
+    "scheduler with a W-thread worker pool over S-way sharded MIPS "
+    "backends (--shard-axis batch|vocab)."
 )
 
 
@@ -180,12 +195,17 @@ def _cmd_train(args: argparse.Namespace) -> None:
     """Train the suite and persist it as a serving artifact directory."""
     from repro.artifacts import save_suite
 
+    qformat = None
+    if args.quantize is not None:
+        from repro.mann.quantize import QFormat
+
+        qformat = QFormat(args.quantize[0], args.quantize[1])
     suite = _build_suite(args)
-    save_suite(suite, args.save)
-    table = TextTable(
-        ["task", "test accuracy", "epochs"],
-        title=f"Trained suite saved to {args.save}",
-    )
+    save_suite(suite, args.save, qformat=qformat)
+    title = f"Trained suite saved to {args.save}"
+    if qformat is not None:
+        title += f" (with {qformat} fixed-point snapshot)"
+    table = TextTable(["task", "test accuracy", "epochs"], title=title)
     for task_id in suite.task_ids:
         system = suite.tasks[task_id]
         table.add_row(
@@ -210,20 +230,25 @@ def _cmd_query(args: argparse.Namespace) -> None:
             f"task {args.task} not in {args.artifacts} "
             f"(available: {suite.task_ids})"
         )
-    predictor = open_predictor(
-        suite,
-        args.task,
-        device=args.device,
-        mips_backend=args.mips_backend,
-        **({"rho": args.rho} if args.mips_backend == "threshold" else {}),
-    )
+    try:
+        predictor = open_predictor(
+            suite,
+            args.task,
+            device=args.device,
+            mips_backend=args.mips_backend,
+            quantized=args.quantized,
+            **({"rho": args.rho} if args.mips_backend == "threshold" else {}),
+        )
+    except ValueError as error:  # e.g. --quantized without a snapshot
+        raise SystemExit(str(error))
     system = suite.tasks[args.task]
     batch = system.test_batch
     indices = args.indices if args.indices else list(range(min(5, len(batch))))
     table = TextTable(
         ["example", "prediction", "truth", "ok", "comparisons", "early exit"],
         title=f"task {args.task} queries on device={args.device} "
-        f"({args.mips_backend} backend)",
+        f"({args.mips_backend} backend"
+        + (", quantized weights)" if args.quantized else ")"),
     )
     correct = 0
     for i in indices:
@@ -253,57 +278,114 @@ def _cmd_query(args: argparse.Namespace) -> None:
     print(f"{correct}/{len(indices)} correct")
 
 
-def _cmd_serve_bench(args: argparse.Namespace) -> None:
-    """Measure micro-batching throughput vs one-at-a-time submission."""
-    from repro.serving import BatchScheduler, QueryRequest, open_predictor
+def _mixed_task_requests(suite: BabiSuite, n: int) -> list:
+    """A round-robin request stream across every task of the suite."""
+    from repro.serving import QueryRequest
 
-    suite = _obtain_suite(args)
-    task_id = args.task if args.task is not None else suite.task_ids[0]
-    predictor = open_predictor(suite, task_id, mips_backend=args.mips_backend)
-    batch = suite.tasks[task_id].test_batch
-    requests = [
-        QueryRequest(
-            batch.stories[i % len(batch)],
-            batch.questions[i % len(batch)],
-            n_sentences=int(batch.story_lengths[i % len(batch)]),
+    tasks = suite.task_ids
+    requests = []
+    for i in range(n):
+        task = tasks[i % len(tasks)]
+        batch = suite.tasks[task].test_batch
+        j = (i // len(tasks)) % len(batch)
+        requests.append(
+            QueryRequest(
+                batch.stories[j],
+                batch.questions[j],
+                n_sentences=int(batch.story_lengths[j]),
+                request_id=i,
+                task=task,
+            )
         )
-        for i in range(args.requests)
-    ]
+    return requests
 
-    start = time.perf_counter()
-    for request in requests:
-        predictor.predict(request)
-    one_at_a_time = time.perf_counter() - start
 
-    scheduler = BatchScheduler(
-        predictor,
+def _cmd_serve_bench(args: argparse.Namespace) -> None:
+    """Sharded multi-task serving throughput: router + worker pool.
+
+    Three submission modes over the same mixed-task request stream:
+    one-at-a-time ``predict`` calls, the single-worker scheduler (the
+    PR 3 serving path), and the worker pool with shard-parallel MIPS
+    backends (``--workers``/``--shards``).
+    """
+    from repro.serving import ModelRouter
+
+    if args.shard_axis == "vocab" and args.shards > 1 and args.mips_backend != "exact":
+        raise SystemExit(
+            f"--shard-axis vocab requires the exact backend "
+            f"(an exhaustive scan); got --mips-backend {args.mips_backend}"
+        )
+    suite = _obtain_suite(args)
+    requests = _mixed_task_requests(suite, args.requests)
+    open_kwargs = dict(
+        mips_backend=args.mips_backend,
         max_batch=args.max_batch,
         max_wait_s=args.max_wait_ms / 1e3,
     )
+
+    direct = ModelRouter.open(suite, start_worker=False, **open_kwargs)
     start = time.perf_counter()
-    with scheduler:
-        futures = [scheduler.submit(request) for request in requests]
-        for future in futures:
-            future.result()
-    scheduled = time.perf_counter() - start
+    for request in requests:
+        direct.predict(request)
+    one_at_a_time = time.perf_counter() - start
+    direct.close()
+
+    def timed_run(n_workers: int, shards: int):
+        router = ModelRouter.open(
+            suite,
+            n_workers=n_workers,
+            shards=shards if shards > 1 else None,
+            shard_axis=args.shard_axis,
+            **open_kwargs,
+        )
+        start = time.perf_counter()
+        with router:
+            futures = [router.submit(request) for request in requests]
+            for future in futures:
+                future.result()
+        return time.perf_counter() - start, router
+
+    single_seconds, single = timed_run(1, 1)
+    pooled_seconds, pooled = timed_run(args.workers, args.shards)
 
     table = TextTable(
         ["submission", "requests/s", "mean batch", "mean latency (ms)"],
-        title=f"Serving throughput, task {task_id}, {args.requests} requests",
+        title=(
+            f"Serving throughput — {len(suite.task_ids)} task routes, "
+            f"{args.requests} requests, {args.mips_backend} backend"
+        ),
     )
     table.add_row(
         ["one-at-a-time", f"{args.requests / one_at_a_time:.0f}", "1.0", "-"]
     )
     table.add_row(
         [
-            f"BatchScheduler(max_batch={args.max_batch})",
-            f"{args.requests / scheduled:.0f}",
-            f"{scheduler.stats.mean_batch_size:.1f}",
-            f"{scheduler.stats.mean_latency_s * 1e3:.2f}",
+            f"scheduler (1 worker, max_batch={args.max_batch})",
+            f"{args.requests / single_seconds:.0f}",
+            f"{single.stats.mean_batch_size:.1f}",
+            f"{single.stats.mean_latency_s * 1e3:.2f}",
+        ]
+    )
+    table.add_row(
+        [
+            f"worker pool ({args.workers} workers, {args.shards} shards)",
+            f"{args.requests / pooled_seconds:.0f}",
+            f"{pooled.stats.mean_batch_size:.1f}",
+            f"{pooled.stats.mean_latency_s * 1e3:.2f}",
         ]
     )
     print(table.render())
-    print(f"micro-batching speedup: {one_at_a_time / scheduled:.1f}x")
+    print(f"micro-batching speedup: {one_at_a_time / single_seconds:.1f}x")
+    print(
+        f"worker-pool speedup vs single worker: "
+        f"{single_seconds / pooled_seconds:.2f}x "
+        f"(mean sub-batches/flush {pooled.stats.mean_shards_per_flush:.1f})"
+    )
+    per_route = ", ".join(
+        f"task {task}: {stats.requests}"
+        for task, stats in sorted(pooled.route_stats.items())
+    )
+    print(f"per-route requests: {per_route}")
 
 
 def _cmd_resources(args: argparse.Namespace) -> None:
@@ -423,6 +505,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="artifact directory to write (readable by load_suite / "
         "open_predictor / every --artifacts flag)",
     )
+    train.add_argument(
+        "--quantize",
+        type=int,
+        nargs=2,
+        default=None,
+        metavar=("INT_BITS", "FRAC_BITS"),
+        help="also persist a Qm.n fixed-point weight snapshot, servable "
+        "with `query --quantized` / open_predictor(quantized=True)",
+    )
     train.set_defaults(handler=_cmd_train)
 
     query = subparsers.add_parser(
@@ -447,21 +538,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--mips-backend", choices=available_backends(), default="exact"
     )
     query.add_argument("--rho", type=float, default=1.0)
+    query.add_argument(
+        "--quantized",
+        action="store_true",
+        help="serve the artifacts' fixed-point weight snapshot "
+        "(written by `train --quantize M N`)",
+    )
     query.set_defaults(handler=_cmd_query)
 
     bench = subparsers.add_parser(
         "serve-bench",
-        help="micro-batching scheduler throughput vs one-at-a-time",
+        help="sharded multi-task serving throughput (router + worker pool)",
     )
     _add_suite_arguments(bench)
-    bench.add_argument(
-        "--task", type=int, default=None, help="task to serve (default: first)"
-    )
     bench.add_argument("--requests", type=int, default=256)
     bench.add_argument("--max-batch", type=int, default=32)
     bench.add_argument("--max-wait-ms", type=float, default=5.0)
     bench.add_argument(
         "--mips-backend", choices=available_backends(), default="exact"
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="flush worker threads: each flush splits into up to this "
+        "many concurrent sub-batches (default: 4)",
+    )
+    bench.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="per-predictor MIPS shard count (wraps the backend as "
+        "sharded:<name>; 1 disables sharding; default: 4)",
+    )
+    bench.add_argument(
+        "--shard-axis",
+        choices=("batch", "vocab"),
+        default="batch",
+        help="partition axis of the sharded MIPS scan (vocab requires "
+        "the exact backend)",
     )
     bench.set_defaults(handler=_cmd_serve_bench)
 

@@ -58,6 +58,10 @@ class TaskSystem:
     was trained in-process; systems restored from saved artifacts
     (:mod:`repro.artifacts`) carry ``None`` there and keep only the
     encoded batches, which is all the experiment drivers consume.
+    ``quantized`` is an optional fixed-point snapshot of the weights
+    (:class:`~repro.mann.quantize.QuantizedWeights`), populated when the
+    artifacts were saved with a ``qformat`` — it is what
+    ``open_predictor(..., quantized=True)`` serves.
     """
 
     task_id: int
@@ -71,6 +75,7 @@ class TaskSystem:
     threshold_model: ThresholdModel
     train_result: TrainResult
     train_logits: np.ndarray
+    quantized: "QuantizedWeights | None" = None
 
     @property
     def vocab_size(self) -> int:

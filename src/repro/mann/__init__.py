@@ -15,6 +15,7 @@ from repro.mann.model import MemoryNetwork
 from repro.mann.quantize import (
     QFormat,
     QuantizationReport,
+    QuantizedWeights,
     accuracy_vs_bits,
     quantize_weights,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "train_task_model",
     "QFormat",
     "QuantizationReport",
+    "QuantizedWeights",
     "quantize_weights",
     "accuracy_vs_bits",
 ]

@@ -100,6 +100,50 @@ class QuantizationReport:
         return max(self.max_abs_error.values())
 
 
+@dataclass(frozen=True)
+class QuantizedWeights:
+    """A fixed-point model snapshot: grid-snapped weights + their format.
+
+    ``weights`` holds float64 values lying exactly on the Qm.n grid
+    (what every engine consumes unchanged); ``qformat`` remembers the
+    grid. The pair round-trips losslessly through the integer codes a
+    hardware memory would store — ``codes()`` /
+    :meth:`from_codes` are bit-exact inverses because dequantisation
+    multiplies by an exact power of two — which is how
+    :mod:`repro.artifacts` persists quantized models for serving.
+    """
+
+    weights: MannWeights
+    qformat: QFormat
+
+    @classmethod
+    def quantize(
+        cls, weights: MannWeights, qformat: QFormat
+    ) -> tuple["QuantizedWeights", QuantizationReport]:
+        """Snap a trained float model to the grid (with error report)."""
+        snapped, report = quantize_weights(weights, qformat)
+        return cls(weights=snapped, qformat=qformat), report
+
+    def codes(self) -> dict[str, np.ndarray]:
+        """Per-matrix int64 codes (the device representation)."""
+        return {
+            name: self.qformat.to_integers(getattr(self.weights, name))
+            for name in _WEIGHT_FIELDS
+        }
+
+    @classmethod
+    def from_codes(
+        cls, config, qformat: QFormat, codes: dict[str, np.ndarray]
+    ) -> "QuantizedWeights":
+        """Rebuild the exact grid values from stored integer codes."""
+        matrices = {
+            name: qformat.from_integers(codes[name]) for name in _WEIGHT_FIELDS
+        }
+        return cls(
+            weights=MannWeights(config=config, **matrices), qformat=qformat
+        )
+
+
 def quantize_weights(
     weights: MannWeights, qformat: QFormat
 ) -> tuple[MannWeights, QuantizationReport]:

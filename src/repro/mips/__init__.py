@@ -18,6 +18,11 @@ Every backend implements ``search(query) -> SearchResult`` and a
 vectorized ``search_batch(queries) -> BatchSearchResult`` (stacked
 labels/logits/comparisons/early-exit arrays), and is constructed via
 ``get_backend(name).build(weight, order=None, **context)``.
+
+Any backend composes with the shard-parallel wrapper
+(:mod:`repro.mips.sharding`) through the ``"sharded:<inner>"`` name —
+``get_backend("sharded:threshold")`` — which partitions ``search_batch``
+across the batch or vocab axis and merges with bit-exact parity.
 """
 
 from repro.mips.backend import (
@@ -25,14 +30,16 @@ from repro.mips.backend import (
     available_backends,
     build_backend,
     get_backend,
+    inner_products,
     register_backend,
 )
+from repro.mips.sharding import ShardedBackend, ShardPlan
 from repro.mips.exact import ExactMips
 from repro.mips.histograms import GaussianKde, LogitHistogram
 from repro.mips.lsh import AlshMips
 from repro.mips.clustering import ClusteringMips
 from repro.mips.ordering import index_order_by_silhouette, silhouette_coefficient
-from repro.mips.stats import BatchSearchResult, SearchResult, SearchStats
+from repro.mips.stats import BatchSearchResult, SearchResult, SearchStats, ShardStats
 from repro.mips.thresholding import InferenceThresholding, ThresholdModel, fit_threshold_model
 
 __all__ = [
@@ -40,7 +47,11 @@ __all__ = [
     "available_backends",
     "build_backend",
     "get_backend",
+    "inner_products",
     "register_backend",
+    "ShardPlan",
+    "ShardStats",
+    "ShardedBackend",
     "ExactMips",
     "LogitHistogram",
     "GaussianKde",

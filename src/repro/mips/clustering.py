@@ -9,7 +9,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.mips.backend import as_query_matrix, register_backend, scan_candidates
+from repro.mips.backend import (
+    as_query_matrix,
+    inner_products,
+    register_backend,
+    scan_candidates,
+)
 from repro.mips.stats import BatchSearchResult, SearchResult
 
 
@@ -102,7 +107,7 @@ class ClusteringMips:
     def search_batch(self, queries: np.ndarray) -> BatchSearchResult:
         """Rank all centroids at once, then score every member list."""
         queries = as_query_matrix(queries)
-        centroid_scores = queries @ self.centroids.T  # (B, C)
+        centroid_scores = inner_products(queries, self.centroids)  # (B, C)
         probes = np.argsort(-centroid_scores, axis=1)[:, : self.n_probe]
         candidates: list[np.ndarray] = []
         for probe in probes:

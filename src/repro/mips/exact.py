@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.mips.backend import as_query_matrix, register_backend
+from repro.mips.backend import as_query_matrix, inner_products, register_backend
 from repro.mips.stats import BatchSearchResult, SearchResult
 
 
@@ -59,7 +59,7 @@ class ExactMips:
     def search(self, query: np.ndarray) -> SearchResult:
         """Scan all indices; returns the exact argmax."""
         query = np.asarray(query, dtype=np.float64)
-        logits = self._ordered_weight @ query
+        logits = inner_products(query[None, :], self._ordered_weight)[0]
         pos = int(np.argmax(logits))  # first max in scan order wins ties
         return SearchResult(int(self.order[pos]), float(logits[pos]), logits.shape[0])
 
@@ -81,7 +81,7 @@ class ExactMips:
     def search_batch(self, queries: np.ndarray) -> BatchSearchResult:
         """Whole-batch exact scan: one (B, V) matmul + row argmax."""
         queries = as_query_matrix(queries)
-        logits = queries @ self._ordered_weight.T  # (B, V) in scan order
+        logits = inner_products(queries, self._ordered_weight)  # (B, V) in scan order
         pos = np.argmax(logits, axis=1)
         rows = np.arange(len(queries))
         return BatchSearchResult(

@@ -14,7 +14,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.mips.backend import as_query_matrix, register_backend, scan_candidates
+from repro.mips.backend import (
+    as_query_matrix,
+    inner_products,
+    register_backend,
+    scan_candidates,
+)
 from repro.mips.stats import BatchSearchResult, SearchResult
 
 
@@ -69,7 +74,9 @@ class AlshMips:
             self._tables.append(table)
 
     def _hash_codes(self, points: np.ndarray, table: int) -> np.ndarray:
-        projections = points @ self._planes[table].T
+        # Partition-stable projections: a sign flip of a near-zero
+        # projection under batch slicing would change candidate sets.
+        projections = inner_products(points, self._planes[table])
         bits = (projections > 0).astype(np.int64)
         weights = 1 << np.arange(self.n_bits, dtype=np.int64)
         return bits @ weights

@@ -1,0 +1,298 @@
+"""Shard-parallel MIPS execution: partition the scan, merge exactly.
+
+The paper's accelerator gets its throughput from parallel PE lanes
+scanning memory partitions concurrently; this module is the software
+shape of that structure. A :class:`ShardedBackend` wraps any registered
+backend and partitions ``search_batch`` along one of two axes:
+
+* ``axis="batch"`` — the query axis. Each shard is a contiguous slice
+  of the batch, answered by the *same* inner backend; results are
+  merged by concatenation. Exact for every backend, because queries
+  are independent and the shared scoring kernel
+  (:func:`~repro.mips.backend.inner_products`) is partition-stable.
+* ``axis="vocab"`` — the candidate axis. The scan order is split into
+  contiguous chunks, one inner backend per chunk over its slice of the
+  output rows; per-query winners are merged with the sequential scan's
+  strict ``>`` running maximum, in scan order. Exactness requires the
+  inner scan to visit every candidate, so this axis is restricted to
+  backends documented exhaustive (``min_recall == 1.0`` — the exact
+  scan); approximate or speculative engines raise.
+
+Both axes produce **bit-identical** :class:`BatchSearchResult` arrays
+to the unwrapped backend — labels, logits, comparisons and early-exit
+flags — which the sharding-parity CI matrix enforces for all four
+registered engines. Per-shard execution statistics ride along in
+``BatchSearchResult.shards`` and therefore surface in
+``BatchTrace.search``.
+
+Backends compose through the registry::
+
+    engine = get_backend("sharded:threshold").build(
+        w_o, threshold_model=tm, n_shards=4, shard_axis="batch"
+    )
+
+An optional ``executor`` (any ``concurrent.futures.Executor``) runs
+shard sub-searches concurrently; by default shards run sequentially and
+concurrency comes from the serving scheduler's worker pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mips.backend import get_backend
+from repro.mips.stats import BatchSearchResult, SearchResult, ShardStats
+
+AXES = ("batch", "vocab")
+#: Merge rules: "concat" reassembles batch-axis slices in submission
+#: order; "running-max" replays the sequential scan's strict > maximum
+#: across vocab-axis partitions. "auto" picks by axis.
+MERGES = ("auto", "concat", "running-max")
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How one ``search_batch`` call is partitioned.
+
+    ``n_shards`` is an upper bound: fewer items than shards simply
+    leave trailing shards empty (they are skipped, not errors).
+    """
+
+    n_shards: int = 2
+    axis: str = "batch"
+    merge: str = "auto"
+
+    def __post_init__(self):
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.axis not in AXES:
+            raise ValueError(f"axis must be one of {AXES}, got {self.axis!r}")
+        if self.merge not in MERGES:
+            raise ValueError(f"merge must be one of {MERGES}, got {self.merge!r}")
+        resolved = self.resolved_merge
+        if self.axis == "batch" and resolved != "concat":
+            raise ValueError("batch-axis shards can only merge by 'concat'")
+        if self.axis == "vocab" and resolved != "running-max":
+            raise ValueError("vocab-axis shards can only merge by 'running-max'")
+
+    @property
+    def resolved_merge(self) -> str:
+        if self.merge != "auto":
+            return self.merge
+        return "concat" if self.axis == "batch" else "running-max"
+
+    def partition(self, n_items: int) -> list[np.ndarray]:
+        """Split ``range(n_items)`` into ``n_shards`` contiguous chunks
+        (balanced sizes, possibly empty when items are scarce)."""
+        return np.array_split(np.arange(n_items, dtype=np.int64), self.n_shards)
+
+
+class ShardedBackend:
+    """Partition-parallel wrapper satisfying the ``MipsBackend`` protocol.
+
+    Construct via the registry (``get_backend("sharded:<inner>")``) or
+    directly with an inner backend name and its build context. The
+    wrapper owns either one inner engine over the full weight (batch
+    axis) or one engine per scan-order chunk (vocab axis).
+    """
+
+    def __init__(
+        self,
+        weight: np.ndarray,
+        inner: str,
+        plan: ShardPlan,
+        order: np.ndarray | None = None,
+        executor=None,
+        **context,
+    ):
+        self.weight = np.asarray(weight, dtype=np.float64)
+        if self.weight.ndim != 2:
+            raise ValueError("weight must be (num_indices, dim)")
+        inner_cls = get_backend(inner)
+        if getattr(inner_cls, "backend_name", "").startswith("sharded"):
+            raise ValueError("sharded backends cannot be nested")
+        self.inner_name = inner_cls.backend_name
+        self.plan = plan
+        self.executor = executor
+
+        if plan.axis == "batch":
+            self._inner = inner_cls.build(self.weight, order, **context)
+            self._chunks = None
+        else:
+            if getattr(inner_cls, "min_recall", 0.0) < 1.0:
+                raise ValueError(
+                    f"vocab-axis sharding requires an exhaustive scan "
+                    f"(min_recall == 1.0); backend {self.inner_name!r} is "
+                    f"approximate or speculative — use shard_axis='batch'"
+                )
+            # Partition the *scan order*, not the raw index range, so a
+            # custom visit order keeps its tie-break semantics: the
+            # running-max merge walks shards in scan order exactly like
+            # the sequential comparator walks indices. The full-size
+            # engine only resolves the order and is dropped — shard
+            # engines hold the only live weight copies.
+            full = inner_cls.build(self.weight, order, **context)
+            self._inner = None
+            self._chunks = [
+                full.order[part]
+                for part in plan.partition(self.weight.shape[0])
+            ]
+            self._shard_engines = [
+                inner_cls.build(self.weight[chunk], None, **context)
+                if len(chunk)
+                else None
+                for chunk in self._chunks
+            ]
+
+    @property
+    def num_indices(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def n_shards(self) -> int:
+        return self.plan.n_shards
+
+    # -- scalar path ----------------------------------------------------
+    def search(self, query: np.ndarray) -> SearchResult:
+        """One query through the sharded path (parity with the inner
+        backend's scalar search, which shares the same kernel)."""
+        return self.search_batch(
+            np.asarray(query, dtype=np.float64)[None, :]
+        ).result(0)
+
+    # -- batched path ---------------------------------------------------
+    def search_batch(self, queries: np.ndarray) -> BatchSearchResult:
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        if self.plan.axis == "batch":
+            return self._search_batch_axis(queries)
+        return self._search_vocab_axis(queries)
+
+    def _run_shards(self, jobs):
+        """Execute shard thunks, optionally on the configured executor."""
+        if self.executor is None:
+            return [job() for job in jobs]
+        return [f.result() for f in [self.executor.submit(job) for job in jobs]]
+
+    def _search_batch_axis(self, queries: np.ndarray) -> BatchSearchResult:
+        parts = [p for p in self.plan.partition(len(queries)) if len(p)]
+        if not parts:  # empty batch: one empty inner call keeps shapes
+            empty = self._inner.search_batch(queries)
+            return self._with_stats(empty, [empty], "batch", [0])
+        results = self._run_shards(
+            [
+                (lambda p=part: self._inner.search_batch(queries[p[0]: p[-1] + 1]))
+                for part in parts
+            ]
+        )
+        merged = BatchSearchResult(
+            labels=np.concatenate([r.labels for r in results]),
+            logits=np.concatenate([r.logits for r in results]),
+            comparisons=np.concatenate([r.comparisons for r in results]),
+            early_exits=np.concatenate([r.early_exits for r in results]),
+        )
+        return self._with_stats(merged, results, "batch", [len(p) for p in parts])
+
+    def _search_vocab_axis(self, queries: np.ndarray) -> BatchSearchResult:
+        n_queries = len(queries)
+        jobs = [
+            (lambda engine=engine: engine.search_batch(queries))
+            for engine in self._shard_engines
+            if engine is not None
+        ]
+        chunks = [c for c in self._chunks if len(c)]
+        results = self._run_shards(jobs)
+
+        best_labels = np.full(n_queries, -1, dtype=np.int64)
+        best_logits = np.full(n_queries, -np.inf)
+        comparisons = np.zeros(n_queries, dtype=np.int64)
+        for chunk, result in zip(chunks, results):
+            # Strict > replays the sequential comparator: an exact tie
+            # stays with the earlier shard, i.e. the first index in
+            # scan order, exactly like the unsharded running maximum.
+            wins = result.logits > best_logits
+            best_logits = np.where(wins, result.logits, best_logits)
+            best_labels = np.where(wins, chunk[result.labels], best_labels)
+            comparisons += result.comparisons
+        merged = BatchSearchResult(
+            labels=best_labels,
+            logits=best_logits,
+            comparisons=comparisons,
+            early_exits=np.zeros(n_queries, dtype=bool),
+        )
+        return self._with_stats(
+            merged, results, "vocab", [len(c) for c in chunks]
+        )
+
+    @staticmethod
+    def _with_stats(merged, shard_results, axis, sizes) -> BatchSearchResult:
+        merged.shards = ShardStats(
+            axis=axis,
+            sizes=np.asarray(sizes, dtype=np.int64),
+            comparisons=np.array(
+                [int(r.comparisons.sum()) for r in shard_results], dtype=np.int64
+            ),
+            early_exits=np.array(
+                [int(r.early_exits.sum()) for r in shard_results], dtype=np.int64
+            ),
+        )
+        return merged
+
+
+# ---------------------------------------------------------------------------
+# registry factory
+# ---------------------------------------------------------------------------
+_FACTORY_CACHE: dict[str, type] = {}
+
+
+def sharded_backend_factory(inner_name: str) -> type:
+    """A class-like ``build`` target for ``get_backend("sharded:<inner>")``.
+
+    Mirrors the inner backend's introspection attributes
+    (``requires_threshold_model``, ``min_recall``) so consumers that
+    fail fast on missing context keep working, and exposes a ``build``
+    classmethod with the uniform registry signature plus the sharding
+    knobs ``n_shards`` / ``shard_axis`` / ``merge`` / ``executor``.
+    """
+    key = inner_name.strip().lower()
+    if key.startswith("sharded"):
+        raise KeyError("sharded backends cannot be nested")
+    inner_cls = get_backend(key)  # raises KeyError for unknown inner names
+    canonical = inner_cls.backend_name
+    if canonical in _FACTORY_CACHE:
+        return _FACTORY_CACHE[canonical]
+
+    def build(
+        cls,
+        weight: np.ndarray,
+        order: np.ndarray | None = None,
+        *,
+        n_shards: int = 2,
+        shard_axis: str = "batch",
+        merge: str = "auto",
+        executor=None,
+        **context,
+    ) -> ShardedBackend:
+        plan = ShardPlan(n_shards=n_shards, axis=shard_axis, merge=merge)
+        return cls(
+            weight, canonical, plan, order=order, executor=executor, **context
+        )
+
+    factory = type(
+        f"Sharded{inner_cls.__name__}",
+        (ShardedBackend,),
+        {
+            "backend_name": f"sharded:{canonical}",
+            "inner_backend": inner_cls,
+            "requires_threshold_model": getattr(
+                inner_cls, "requires_threshold_model", False
+            ),
+            "min_recall": getattr(inner_cls, "min_recall", 0.0),
+            "build": classmethod(build),
+        },
+    )
+    _FACTORY_CACHE[canonical] = factory
+    return factory

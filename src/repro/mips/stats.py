@@ -2,9 +2,7 @@
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
-from typing import Iterator
 
 import numpy as np
 
@@ -26,6 +24,31 @@ class SearchResult:
 
 
 @dataclass
+class ShardStats:
+    """Per-shard execution statistics of one sharded ``search_batch``.
+
+    ``sizes`` counts the items each shard processed — queries on the
+    batch axis, candidate output rows on the vocab axis — and
+    ``comparisons`` the logit evaluations each shard paid, so serving
+    traces can show how a flush's scan work split across partitions.
+    """
+
+    axis: str  # "batch" or "vocab"
+    sizes: np.ndarray  # (S,) int64 items per shard
+    comparisons: np.ndarray  # (S,) int64 total logit evaluations per shard
+    early_exits: np.ndarray  # (S,) int64 early-exit count per shard
+
+    def __post_init__(self):
+        self.sizes = np.asarray(self.sizes, dtype=np.int64)
+        self.comparisons = np.asarray(self.comparisons, dtype=np.int64)
+        self.early_exits = np.asarray(self.early_exits, dtype=np.int64)
+
+    @property
+    def n_shards(self) -> int:
+        return int(self.sizes.shape[0])
+
+
+@dataclass
 class BatchSearchResult:
     """Stacked outcome of a whole batch of MIPS queries.
 
@@ -33,18 +56,21 @@ class BatchSearchResult:
     one numpy array per field instead of a Python list of
     :class:`SearchResult`, so downstream consumers (the batch inference
     engine, the Fig. 3 sweep, benchmarks) can aggregate comparison and
-    early-exit statistics without a per-query loop.
+    early-exit statistics without a per-query loop. Use ``to_list()``
+    (or ``result(i)``) where scalar results are genuinely needed; the
+    deprecated list-of-``SearchResult`` iteration/indexing shims were
+    removed after one release.
 
-    The legacy list-of-``SearchResult`` shape is kept alive for one
-    release through ``__iter__``/``__getitem__`` shims that emit a
-    ``DeprecationWarning``; use the stacked arrays (or ``to_list()``
-    where scalar results are genuinely needed) instead.
+    ``shards`` is populated by the sharded backend wrapper
+    (:class:`~repro.mips.sharding.ShardedBackend`) with per-partition
+    execution statistics; plain backends leave it ``None``.
     """
 
     labels: np.ndarray  # (B,) int64 argmax index per query
     logits: np.ndarray  # (B,) float64 winning logit per query
     comparisons: np.ndarray  # (B,) int64 logit evaluations per query
     early_exits: np.ndarray  # (B,) bool speculative-exit flag per query
+    shards: ShardStats | None = None  # set by the sharded wrapper only
 
     def __post_init__(self):
         self.labels = np.asarray(self.labels, dtype=np.int64)
@@ -105,27 +131,6 @@ class BatchSearchResult:
             comparisons=np.array([r.comparisons for r in results], dtype=np.int64),
             early_exits=np.array([r.early_exit for r in results], dtype=bool),
         )
-
-    # -- deprecated list-shape shims --------------------------------------
-    def _warn_list_shape(self) -> None:
-        warnings.warn(
-            "treating BatchSearchResult as a list of SearchResult is "
-            "deprecated; use the stacked .labels/.logits/.comparisons/"
-            ".early_exits arrays or .to_list()",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-
-    def __iter__(self) -> Iterator[SearchResult]:
-        self._warn_list_shape()
-        return iter(self.to_list())
-
-    def __getitem__(self, i: int | slice) -> SearchResult | list[SearchResult]:
-        self._warn_list_shape()
-        if isinstance(i, slice):
-            return [self.result(j) for j in range(len(self))[i]]
-        return self.result(int(i))
-
 
 @dataclass
 class SearchStats:

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.mips.backend import as_query_matrix, register_backend
+from repro.mips.backend import as_query_matrix, inner_products, register_backend
 from repro.mips.histograms import GaussianKde, LogitHistogram
 from repro.mips.ordering import index_order_by_silhouette, silhouette_coefficient
 from repro.mips.stats import BatchSearchResult, SearchResult
@@ -264,7 +264,7 @@ class InferenceThresholding:
     def search_batch(self, queries: np.ndarray) -> BatchSearchResult:
         """Batched Step 4: all visit-order logits in one matmul."""
         queries = as_query_matrix(queries)
-        logits = queries @ self._ordered_weight.T  # (B, V) in visit order
+        logits = inner_products(queries, self._ordered_weight)  # (B, V) in visit order
         # theta is looked up per call (not precomputed in visit order)
         # so callers may retune ``self.theta`` between searches.
         exceed = logits > self.theta[self.order][None, :]

@@ -17,8 +17,16 @@ The deployment story of the repro in three calls::
   co-simulation) — same :class:`QueryRequest`/:class:`QueryResponse`
   types either way.
 * :class:`BatchScheduler` — coalesces individually submitted requests
-  into vectorised flushes (max-batch / max-wait), recording per-request
-  latency and per-flush batch sizes in :class:`ServingStats`.
+  into vectorised flushes (max-batch / max-wait) executed by a pool of
+  ``n_workers`` flush workers (each flush split into concurrent shard
+  sub-batches), recording per-request latency, per-flush batch sizes
+  and sub-batch counts in :class:`ServingStats`.
+* :class:`ModelRouter` — many named predictors (one per bAbI task)
+  behind one shared scheduler, routed by ``QueryRequest.task`` with
+  per-route statistics::
+
+      with ModelRouter.open("artifacts/", n_workers=4, shards=4) as r:
+          answer = r.submit(QueryRequest(story, question, task=6)).result()
 """
 
 from repro.serving.api import (
@@ -33,12 +41,14 @@ from repro.serving.predictor import (
     SoftwarePredictor,
     open_predictor,
 )
+from repro.serving.router import ModelRouter
 from repro.serving.scheduler import BatchScheduler
 
 __all__ = [
     "BatchScheduler",
     "DEVICES",
     "HardwarePredictor",
+    "ModelRouter",
     "Predictor",
     "QueryRequest",
     "QueryResponse",

@@ -27,12 +27,16 @@ class QueryRequest:
     ``n_sentences`` pins the number of real story sentences; ``None``
     infers it from the last non-pad sentence, like the engines do.
     ``request_id`` is an opaque caller tag echoed on the response.
+    ``task`` names the model that should answer — the route key of a
+    :class:`~repro.serving.ModelRouter` (a bAbI task id); single-model
+    predictors ignore it, and a single-route router accepts ``None``.
     """
 
     story: np.ndarray
     question: np.ndarray
     n_sentences: int | None = None
     request_id: int | str | None = None
+    task: int | str | None = None
 
     def __post_init__(self):
         story = np.asarray(self.story, dtype=np.int64)
@@ -74,6 +78,12 @@ class Predictor(Protocol):
     :func:`repro.serving.open_predictor`; ``predict_batch`` must accept
     requests with heterogeneous story slot counts (they are padded to a
     common shape internally).
+
+    A predictor may additionally expose
+    ``partition_batch(requests, n) -> list[list[int]]`` — index groups
+    the :class:`~repro.serving.BatchScheduler` worker pool should
+    dispatch as concurrent sub-batches (the router partitions by task
+    this way); without the hook the scheduler splits contiguously.
     """
 
     def predict(self, request: QueryRequest) -> QueryResponse: ...
@@ -88,18 +98,23 @@ class ServingStats:
     """Counters a predictor or scheduler accumulates while serving.
 
     ``batch_sizes`` records one entry per flush (the micro-batching
-    win to watch), ``latencies_s`` one entry per request.
+    win to watch), ``latencies_s`` one entry per request, and
+    ``shards_per_flush`` how many concurrent sub-batches the worker
+    pool dispatched for each flush (always 1 on the single-worker
+    inline path).
     """
 
     requests: int = 0
     flushes: int = 0
     batch_sizes: list[int] = field(default_factory=list)
     latencies_s: list[float] = field(default_factory=list)
+    shards_per_flush: list[int] = field(default_factory=list)
 
-    def record_flush(self, batch_size: int) -> None:
+    def record_flush(self, batch_size: int, n_shards: int = 1) -> None:
         self.flushes += 1
         self.requests += batch_size
         self.batch_sizes.append(batch_size)
+        self.shards_per_flush.append(n_shards)
 
     @property
     def mean_batch_size(self) -> float:
@@ -112,3 +127,11 @@ class ServingStats:
     @property
     def max_latency_s(self) -> float:
         return float(np.max(self.latencies_s)) if self.latencies_s else 0.0
+
+    @property
+    def mean_shards_per_flush(self) -> float:
+        return (
+            float(np.mean(self.shards_per_flush))
+            if self.shards_per_flush
+            else 0.0
+        )

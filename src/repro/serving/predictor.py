@@ -232,6 +232,9 @@ def open_predictor(
     device: str = "sw",
     mips_backend: str = "exact",
     hw_config: HwConfig | None = None,
+    shards: int | None = None,
+    shard_axis: str = "batch",
+    quantized: bool = False,
     **params,
 ):
     """Open a unified :class:`Predictor` over saved or in-memory models.
@@ -241,19 +244,51 @@ def open_predictor(
     :class:`~repro.eval.suite.BabiSuite`, or a single
     :class:`~repro.eval.suite.TaskSystem`. ``task_id`` selects the task
     (optional when the suite holds exactly one). ``mips_backend`` is any
-    registered ``repro.mips`` name; ``**params`` are its build
+    registered ``repro.mips`` name — including the shard-parallel
+    composition ``"sharded:<inner>"``; passing ``shards=N`` is the
+    shorthand that wraps the named backend in a
+    :class:`~repro.mips.sharding.ShardedBackend` with ``N`` partitions
+    along ``shard_axis``. ``quantized=True`` serves the fixed-point
+    weights persisted in the artifacts (``save_suite(..., qformat=...)``)
+    instead of the float model. ``**params`` are backend build
     parameters (``rho``, ``index_ordering``, ``seed``, ...). On
     ``device="hw"`` the backend runs inside the accelerator's OUTPUT
-    module via ``hw_config`` (only ``rho``/``index_ordering`` tune it).
+    module via ``hw_config`` (only ``rho``/``index_ordering`` tune it;
+    sharding is a software MIPS-layer construct and is rejected).
     """
     if device not in DEVICES:
         raise ValueError(f"unknown device {device!r}; expected one of {DEVICES}")
     system, vocab = _resolve_system(artifacts, task_id)
 
+    weights = system.weights
+    if quantized:
+        if system.quantized is None:
+            raise ValueError(
+                "artifacts hold no quantized weights; save them with "
+                "save_suite(..., qformat=QFormat(m, n))"
+            )
+        weights = system.quantized.weights
+
     if device == "sw":
-        engine = system.batch_engine_with(mips_backend, **params)
+        if shards is not None:
+            if not str(mips_backend).startswith("sharded:"):
+                mips_backend = f"sharded:{mips_backend}"
+            params.update(n_shards=shards, shard_axis=shard_axis)
+        from repro.mann.batch import BatchInferenceEngine
+
+        engine = BatchInferenceEngine(
+            weights,
+            mips_backend,
+            threshold_model=system.threshold_model,
+            **params,
+        )
         return SoftwarePredictor(engine, vocab=vocab, task_id=system.task_id)
 
+    if shards is not None:
+        raise ValueError(
+            "shards= partitions the software MIPS backend layer; "
+            "device='hw' runs the OUTPUT module's own scan"
+        )
     unsupported = set(params) - {"rho", "index_ordering"}
     if unsupported:
         raise ValueError(
@@ -261,7 +296,7 @@ def open_predictor(
             "only rho/index_ordering tune the OUTPUT module"
         )
     config = (hw_config or HwConfig()).with_embed_dim(
-        system.weights.config.embed_dim
+        weights.config.embed_dim
     )
     config = config.with_ith(
         config.ith_enabled,
@@ -269,6 +304,6 @@ def open_predictor(
         index_ordering=params.get("index_ordering"),
     ).with_mips_backend(mips_backend)
     accelerator = MannAccelerator(
-        system.weights, config, threshold_model=system.threshold_model
+        weights, config, threshold_model=system.threshold_model
     )
     return HardwarePredictor(accelerator, vocab=vocab, task_id=system.task_id)

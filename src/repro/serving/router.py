@@ -1,0 +1,263 @@
+"""Multi-task routing: many named predictors behind one scheduler.
+
+A deployment serves all twenty bAbI tasks, not one. ``ModelRouter``
+holds one :class:`~repro.serving.api.Predictor` per route (a bAbI task
+id / artifact task directory), routes each request's
+``QueryRequest.task`` to its model, and funnels every route through a
+single shared :class:`~repro.serving.BatchScheduler` — so micro-batching
+and the worker pool amortise across tasks instead of per-task::
+
+    with ModelRouter.open("artifacts/", n_workers=4, shards=4) as router:
+        future = router.submit(QueryRequest(story, question, task=6))
+        print(future.result().answer)
+
+Flushes containing several tasks are partitioned task-first (the
+router implements the scheduler's ``partition_batch`` hook), so each
+worker executes one single-task vectorised ``predict_batch``. Per-route
+traffic is accounted in ``router.route_stats[task]``; scheduler-level
+flush statistics stay in ``router.stats``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping, Sequence
+
+from repro.serving.api import (
+    Predictor,
+    QueryRequest,
+    QueryResponse,
+    ServingStats,
+)
+from repro.serving.scheduler import BatchScheduler
+
+
+class _RoutingPredictor:
+    """Predictor facade dispatching mixed-task batches to their routes."""
+
+    def __init__(self, routes, route_stats, resolve):
+        self._routes = routes
+        self._route_stats = route_stats
+        self._resolve = resolve
+        self._stats_lock = threading.Lock()
+
+    def _grouped(self, requests: Sequence[QueryRequest]):
+        """Indices grouped by resolved task, in submission order."""
+        groups: dict = {}
+        for i, request in enumerate(requests):
+            groups.setdefault(self._resolve(request), []).append(i)
+        return groups
+
+    def predict(self, request: QueryRequest) -> QueryResponse:
+        return self.predict_batch([request])[0]
+
+    def predict_batch(
+        self, requests: Sequence[QueryRequest]
+    ) -> list[QueryResponse]:
+        responses: list[QueryResponse | None] = [None] * len(requests)
+        for task, indices in self._grouped(requests).items():
+            answered = self._routes[task].predict_batch(
+                [requests[i] for i in indices]
+            )
+            with self._stats_lock:
+                self._route_stats[task].record_flush(len(indices))
+            for i, response in zip(indices, answered):
+                responses[i] = response
+        return responses
+
+    def partition_batch(
+        self, requests: Sequence[QueryRequest], n: int
+    ) -> list[list[int]]:
+        """Task-first partition for the scheduler's worker pool.
+
+        Each sub-batch is single-task (one vectorised engine call);
+        large task groups are split further so roughly ``n`` chunks
+        cover the flush.
+        """
+        groups = list(self._grouped(requests).values())
+        total = len(requests)
+        chunks: list[list[int]] = []
+        spare = max(0, n - len(groups))
+        for group in groups:
+            extra = min(spare, max(0, round(len(group) * n / total) - 1))
+            spare -= extra
+            pieces = 1 + extra
+            size, rem = divmod(len(group), pieces)
+            start = 0
+            for k in range(pieces):
+                stop = start + size + (1 if k < rem else 0)
+                if stop > start:
+                    chunks.append(group[start:stop])
+                start = stop
+        return chunks
+
+
+class ModelRouter:
+    """Many named predictors, one scheduler, per-route statistics.
+
+    ``predictors`` maps route keys (bAbI task ids) to built
+    :class:`Predictor` objects; :meth:`open` builds the whole map from
+    an artifact directory or suite in one call. ``submit`` validates
+    ``request.task`` eagerly (an unknown task raises in the caller, it
+    never poisons a flush); a router with exactly one route accepts
+    requests with ``task=None``.
+    """
+
+    def __init__(
+        self,
+        predictors: Mapping[int | str, Predictor],
+        *,
+        max_batch: int = 32,
+        max_wait_s: float = 0.005,
+        n_workers: int = 1,
+        start_worker: bool = True,
+    ):
+        if not predictors:
+            raise ValueError("need at least one route")
+        self._routes = dict(predictors)
+        self.route_stats: dict = {
+            task: ServingStats() for task in self._routes
+        }
+        self._dispatch = _RoutingPredictor(
+            self._routes, self.route_stats, self.resolve_task
+        )
+        self.scheduler = BatchScheduler(
+            self._dispatch,
+            max_batch=max_batch,
+            max_wait_s=max_wait_s,
+            start_worker=start_worker,
+            n_workers=n_workers,
+        )
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        artifacts,
+        tasks: Sequence[int] | None = None,
+        *,
+        device: str = "sw",
+        mips_backend: str = "exact",
+        shards: int | None = None,
+        shard_axis: str = "batch",
+        quantized: bool = False,
+        max_batch: int = 32,
+        max_wait_s: float = 0.005,
+        n_workers: int = 1,
+        start_worker: bool = True,
+        **params,
+    ) -> "ModelRouter":
+        """One route per task of a saved artifact directory or suite.
+
+        ``artifacts`` is anything :func:`~repro.serving.open_predictor`
+        accepts (the suite is loaded once and shared across routes);
+        ``tasks`` restricts the routes (default: every task present).
+        The remaining keywords go to ``open_predictor`` per route —
+        including the shard-parallel MIPS knobs ``shards``/
+        ``shard_axis`` and ``quantized`` serving.
+        """
+        from pathlib import Path
+
+        from repro.eval.suite import BabiSuite, TaskSystem
+        from repro.serving.predictor import open_predictor
+
+        if isinstance(artifacts, (str, Path)):
+            from repro.artifacts import load_suite
+
+            artifacts = load_suite(artifacts)
+        if isinstance(artifacts, TaskSystem):
+            artifacts_tasks = [artifacts.task_id]
+        elif isinstance(artifacts, BabiSuite):
+            artifacts_tasks = artifacts.task_ids
+        else:
+            raise TypeError(
+                "artifacts must be an artifact directory path, a BabiSuite "
+                f"or a TaskSystem, got {type(artifacts).__name__}"
+            )
+        tasks = list(tasks) if tasks is not None else list(artifacts_tasks)
+        missing = set(tasks) - set(artifacts_tasks)
+        if missing:
+            raise KeyError(
+                f"tasks {sorted(missing)} not in artifacts "
+                f"(available: {list(artifacts_tasks)})"
+            )
+        predictors = {
+            task: open_predictor(
+                artifacts,
+                task,
+                device=device,
+                mips_backend=mips_backend,
+                shards=shards,
+                shard_axis=shard_axis,
+                quantized=quantized,
+                **params,
+            )
+            for task in tasks
+        }
+        return cls(
+            predictors,
+            max_batch=max_batch,
+            max_wait_s=max_wait_s,
+            n_workers=n_workers,
+            start_worker=start_worker,
+        )
+
+    # -- routing ----------------------------------------------------------
+    @property
+    def tasks(self) -> list:
+        return sorted(self._routes)
+
+    @property
+    def stats(self) -> ServingStats:
+        """Scheduler-level flush statistics (all routes combined)."""
+        return self.scheduler.stats
+
+    def resolve_task(self, request: QueryRequest):
+        """The route key answering ``request`` (strict, raises early)."""
+        task = request.task
+        if task is None:
+            if len(self._routes) == 1:
+                return next(iter(self._routes))
+            raise ValueError(
+                f"request has no task; routes: {self.tasks} — set "
+                "QueryRequest.task"
+            )
+        if task not in self._routes:
+            raise KeyError(
+                f"unknown task {task!r}; routes: {self.tasks}"
+            )
+        return task
+
+    def predictor(self, task) -> Predictor:
+        """The underlying predictor of one route."""
+        if task not in self._routes:
+            raise KeyError(f"unknown task {task!r}; routes: {self.tasks}")
+        return self._routes[task]
+
+    def submit(self, request: QueryRequest):
+        """Enqueue one request on the shared scheduler (validated now)."""
+        self.resolve_task(request)
+        return self.scheduler.submit(request)
+
+    def predict(self, request: QueryRequest) -> QueryResponse:
+        """Answer one request directly (no scheduling), with accounting."""
+        return self._dispatch.predict(request)
+
+    def predict_batch(
+        self, requests: Sequence[QueryRequest]
+    ) -> list[QueryResponse]:
+        """Answer a mixed-task batch directly (no scheduling)."""
+        return self._dispatch.predict_batch(requests)
+
+    # -- lifecycle ----------------------------------------------------------
+    def flush(self) -> None:
+        self.scheduler.flush()
+
+    def close(self) -> None:
+        self.scheduler.close()
+
+    def __enter__(self) -> "ModelRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

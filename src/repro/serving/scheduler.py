@@ -1,30 +1,43 @@
-"""Micro-batching scheduler: many callers, one vectorised flush.
+"""Micro-batching scheduler: many callers, one pool of flush workers.
 
 PR 1/2 made whole-batch inference ~20x cheaper per example than the
 per-example path — but a serving frontend receives requests one at a
 time. :class:`BatchScheduler` is the piece in between: ``submit()``
 enqueues a single :class:`~repro.serving.api.QueryRequest` and returns
 a :class:`concurrent.futures.Future`; queued requests are coalesced
-into one ``predict_batch`` call when either
+into one flush when either
 
-* the queue reaches ``max_batch`` (flushed inline by the submitting
-  caller), or
+* the queue reaches ``max_batch`` (flushed by the submitting caller),
 * the oldest queued request has waited ``max_wait_s`` (flushed by the
-  background worker thread), or
+  background deadline thread), or
 * the caller forces it (``flush()`` / ``close()`` / context-manager
   exit).
 
-Per-request latency (submit to answer) and per-flush batch sizes are
-recorded in :class:`~repro.serving.api.ServingStats` — the numbers
-``benchmarks/test_bench_serving.py`` turns into the throughput table.
+With ``n_workers == 1`` (the default) a flush is one inline
+``predict_batch`` call, serialized exactly like the original
+single-worker scheduler. With ``n_workers > 1`` each flush is split
+into up to ``n_workers`` sub-batches — contiguous slices, or whatever
+the predictor's optional ``partition_batch`` hook returns (the router
+partitions by task) — dispatched concurrently on a thread pool and
+reassembled in submission order. Future semantics are unchanged
+either way: a future cancelled before its flush is skipped, every
+other future resolves with its own response (or the sub-batch's
+exception). The predictor must be thread-safe to benefit from
+``n_workers > 1``; the numpy engines are (frozen weights, no shared
+mutable state).
+
+Per-request latency, per-flush batch sizes and per-flush sub-batch
+counts are recorded in :class:`~repro.serving.api.ServingStats` — the
+numbers ``benchmarks/test_bench_sharding.py`` turns into the scaling
+curves.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, replace
-from concurrent.futures import Future
 
 from repro.serving.api import Predictor, QueryRequest, QueryResponse, ServingStats
 
@@ -41,9 +54,11 @@ class BatchScheduler:
 
     ``predictor`` is anything satisfying the
     :class:`~repro.serving.api.Predictor` protocol. With
-    ``start_worker=False`` no thread is spawned and flushes happen only
-    on max-batch, ``flush()`` or ``close()`` — fully deterministic, the
-    mode the unit tests use.
+    ``start_worker=False`` no deadline thread is spawned and flushes
+    happen only on max-batch, ``flush()`` or ``close()`` — fully
+    deterministic, the mode the unit tests use (the flush *pool* is
+    still used when ``n_workers > 1``; ``_execute`` blocks until its
+    sub-batches finish, so determinism is preserved).
     """
 
     def __init__(
@@ -52,19 +67,32 @@ class BatchScheduler:
         max_batch: int = 32,
         max_wait_s: float = 0.005,
         start_worker: bool = True,
+        n_workers: int = 1,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if max_wait_s < 0:
             raise ValueError("max_wait_s must be >= 0")
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
         self.predictor = predictor
         self.max_batch = int(max_batch)
         self.max_wait_s = float(max_wait_s)
+        self.n_workers = int(n_workers)
         self.stats = ServingStats()
         self._pending: list[_Pending] = []
         self._cond = threading.Condition()
         self._exec_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
         self._closed = False
+        self._pool: ThreadPoolExecutor | None = (
+            ThreadPoolExecutor(
+                max_workers=self.n_workers,
+                thread_name_prefix="BatchSchedulerWorker",
+            )
+            if self.n_workers > 1
+            else None
+        )
         self._worker: threading.Thread | None = None
         if start_worker:
             self._worker = threading.Thread(
@@ -85,8 +113,8 @@ class BatchScheduler:
                 batch = self._pending[: self.max_batch]
                 del self._pending[: self.max_batch]
             elif len(self._pending) == 1:
-                # Wake the worker only to arm a deadline for a newly
-                # non-empty queue; notifying on every submit would
+                # Wake the deadline thread only to arm a deadline for a
+                # newly non-empty queue; notifying on every submit would
                 # GIL-thrash against busy submitters.
                 self._cond.notify_all()
         if batch:  # full batch: the submitting caller pays the flush
@@ -104,7 +132,7 @@ class BatchScheduler:
             self._execute(batch)
 
     def close(self) -> None:
-        """Flush outstanding requests and stop the worker. Idempotent."""
+        """Flush outstanding requests and stop the workers. Idempotent."""
         with self._cond:
             self._closed = True
             self._cond.notify_all()
@@ -112,6 +140,9 @@ class BatchScheduler:
             self._worker.join()
             self._worker = None
         self.flush()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
     def __enter__(self) -> "BatchScheduler":
         return self
@@ -149,27 +180,78 @@ class BatchScheduler:
                 del self._pending[: len(batch)]
             self._execute(batch)
 
+    def _partition(self, batch: list[_Pending]) -> list[list[_Pending]]:
+        """Split a flush into sub-batches for the worker pool.
+
+        Uses the predictor's task-aware ``partition_batch`` hook when
+        present (so mixed-task flushes are not split mid-task),
+        otherwise balanced contiguous chunks.
+        """
+        n = min(self.n_workers, len(batch))
+        hook = getattr(self.predictor, "partition_batch", None)
+        if hook is not None:
+            groups = hook([p.request for p in batch], n)
+            chunks = [[batch[i] for i in group] for group in groups if group]
+            if chunks and sorted(i for g in groups for i in g) == list(
+                range(len(batch))
+            ):
+                return chunks
+        size, extra = divmod(len(batch), n)
+        chunks, start = [], 0
+        for k in range(n):
+            stop = start + size + (1 if k < extra else 0)
+            chunks.append(batch[start:stop])
+            start = stop
+        return [c for c in chunks if c]
+
     def _execute(self, batch: list[_Pending]) -> None:
         # Transition every future to RUNNING first: a future the caller
         # already cancelled drops out here, and the rest can no longer
         # be cancelled, so set_result/set_exception below cannot raise
-        # InvalidStateError (which would kill the worker thread and
+        # InvalidStateError (which would kill the flushing thread and
         # strand the remaining futures of the batch).
         batch = [p for p in batch if p.future.set_running_or_notify_cancel()]
         if not batch:
             return
-        with self._exec_lock:  # one predictor call at a time
-            try:
-                responses = self.predictor.predict_batch(
-                    [p.request for p in batch]
-                )
-            except Exception as error:  # propagate to every waiter
-                for pending in batch:
-                    pending.future.set_exception(error)
-                return
-            done = time.perf_counter()
-            self.stats.record_flush(len(batch))
-            for pending, response in zip(batch, responses):
-                latency = done - pending.submitted_at
-                self.stats.latencies_s.append(latency)
-                pending.future.set_result(replace(response, latency_s=latency))
+        if self._pool is None:
+            with self._exec_lock:  # one predictor call at a time
+                self._run_chunk(batch)
+            with self._stats_lock:
+                self.stats.record_flush(len(batch), n_shards=1)
+            return
+        try:
+            chunks = self._partition(batch)
+        except Exception as error:
+            # The partition hook is predictor code too: a raising hook
+            # must resolve (not strand) the already-RUNNING futures,
+            # and must not kill the deadline thread.
+            for pending in batch:
+                pending.future.set_exception(error)
+            return
+        done = [
+            self._pool.submit(self._run_chunk, chunk) for chunk in chunks[1:]
+        ]
+        # The flushing thread works one sub-batch itself instead of
+        # idling — with W workers a flush occupies W threads, not W+1.
+        self._run_chunk(chunks[0])
+        for future in done:
+            future.result()  # _run_chunk never raises; propagate crashes
+        with self._stats_lock:
+            self.stats.record_flush(len(batch), n_shards=len(chunks))
+
+    def _run_chunk(self, chunk: list[_Pending]) -> None:
+        """Answer one sub-batch, resolving its futures in order."""
+        try:
+            responses = self.predictor.predict_batch(
+                [p.request for p in chunk]
+            )
+        except Exception as error:  # propagate to this sub-batch's waiters
+            for pending in chunk:
+                pending.future.set_exception(error)
+            return
+        done = time.perf_counter()
+        latencies = [done - pending.submitted_at for pending in chunk]
+        with self._stats_lock:
+            self.stats.latencies_s.extend(latencies)
+        for pending, response, latency in zip(chunk, responses, latencies):
+            pending.future.set_result(replace(response, latency_s=latency))

@@ -146,36 +146,26 @@ class TestBatchSearchResult:
         originals = [SearchResult(2, 1.5, 7, False), SearchResult(0, 0.25, 1, True)]
         assert BatchSearchResult.from_results(originals).to_list() == originals
 
-    def test_legacy_list_shape_deprecated(self, rng):
+    def test_list_shim_removed(self, rng):
+        """The deprecated list-of-SearchResult shims are gone: stacked
+        arrays (or the explicit to_list()) are the only shapes."""
         results = ExactMips(rng.normal(size=(6, 3))).search_batch(
             rng.normal(size=(4, 3))
         )
-        with pytest.warns(DeprecationWarning):
-            as_list = list(results)
-        assert len(as_list) == 4
-        with pytest.warns(DeprecationWarning):
-            first = results[0]
-        assert first == as_list[0]
+        with pytest.raises(TypeError):
+            iter(results)
+        with pytest.raises(TypeError):
+            results[0]
 
-    def test_legacy_slicing_still_works(self, rng):
-        results = ExactMips(rng.normal(size=(6, 3))).search_batch(
-            rng.normal(size=(4, 3))
-        )
-        with pytest.warns(DeprecationWarning):
-            head = results[:2]
-        assert head == results.to_list()[:2]
-
-    def test_legacy_shapes_match_stacked_arrays(self, rng):
-        """Iteration and indexing reproduce the stacked arrays exactly."""
+    def test_to_list_matches_stacked_arrays(self, rng):
+        """Explicit scalar materialisation reproduces the arrays exactly."""
         results = ExactMips(rng.normal(size=(6, 3))).search_batch(
             rng.normal(size=(5, 3))
         )
-        with pytest.warns(DeprecationWarning):
-            iterated = list(results)
-        with pytest.warns(DeprecationWarning):
-            indexed = [results[i] for i in range(len(results))]
-        assert iterated == indexed
-        for i, scalar in enumerate(iterated):
+        scalars = results.to_list()
+        assert len(scalars) == len(results) == 5
+        for i, scalar in enumerate(scalars):
+            assert scalar == results.result(i)
             assert scalar.label == int(results.labels[i])
             assert scalar.logit == float(results.logits[i])
             assert scalar.comparisons == int(results.comparisons[i])

@@ -1,0 +1,258 @@
+"""Shard-parallel MIPS execution: exact-parity merging, both axes.
+
+The contract the serving runtime leans on: ``sharded:<inner>`` produces
+**bit-identical** ``BatchSearchResult`` arrays to ``<inner>`` — labels,
+logits, comparisons and early-exit flags — for every registered
+backend, any shard count, and a trained model's real queries. The CI
+sharding-parity matrix runs this module once per backend via
+``-k <backend>``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.mips import (
+    BatchSearchResult,
+    ShardPlan,
+    ShardedBackend,
+    available_backends,
+    build_backend,
+    fit_threshold_model,
+    get_backend,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    """A vocabulary-scale weight matrix + fitted threshold model."""
+    rng = np.random.default_rng(23)
+    weight = rng.normal(size=(170, 20))
+    queries = rng.normal(size=(97, 20))
+    train = rng.normal(size=(1500, 20))
+    logits = train @ weight.T
+    model = fit_threshold_model(logits, logits.argmax(axis=1))
+    return weight, queries, model
+
+
+def _build_pair(name, weight, model, **shard_kwargs):
+    plain = build_backend(name, weight, threshold_model=model, seed=0)
+    sharded = get_backend(f"sharded:{name}").build(
+        weight, threshold_model=model, seed=0, **shard_kwargs
+    )
+    return plain, sharded
+
+
+def _assert_bit_identical(plain: BatchSearchResult, sharded: BatchSearchResult):
+    assert np.array_equal(plain.labels, sharded.labels)
+    assert np.array_equal(plain.logits, sharded.logits)  # bitwise, not close
+    assert np.array_equal(plain.comparisons, sharded.comparisons)
+    assert np.array_equal(plain.early_exits, sharded.early_exits)
+
+
+class TestRegistry:
+    def test_prefix_resolves_every_backend(self):
+        for name in available_backends():
+            factory = get_backend(f"sharded:{name}")
+            assert factory.backend_name == f"sharded:{name}"
+            assert issubclass(factory, ShardedBackend)
+
+    def test_factory_mirrors_introspection(self):
+        assert get_backend("sharded:threshold").requires_threshold_model
+        assert get_backend("sharded:exact").min_recall == 1.0
+        assert get_backend("sharded:alsh").min_recall < 1.0
+
+    def test_inner_aliases_resolve(self):
+        assert (
+            get_backend("sharded:ith") is get_backend("sharded:threshold")
+        )
+
+    def test_unknown_inner_rejected(self):
+        with pytest.raises(KeyError, match="unknown MIPS backend"):
+            get_backend("sharded:nope")
+
+    def test_nesting_rejected(self):
+        with pytest.raises(KeyError, match="nested"):
+            get_backend("sharded:sharded:exact")
+
+    def test_available_backends_unchanged(self):
+        assert available_backends() == (
+            "alsh",
+            "clustering",
+            "exact",
+            "threshold",
+        )
+
+
+class TestShardPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardPlan(n_shards=0)
+        with pytest.raises(ValueError, match="axis"):
+            ShardPlan(axis="embed")
+        with pytest.raises(ValueError, match="merge"):
+            ShardPlan(merge="sum")
+
+    def test_merge_rules_are_axis_bound(self):
+        assert ShardPlan(axis="batch").resolved_merge == "concat"
+        assert ShardPlan(axis="vocab").resolved_merge == "running-max"
+        with pytest.raises(ValueError, match="concat"):
+            ShardPlan(axis="batch", merge="running-max")
+        with pytest.raises(ValueError, match="running-max"):
+            ShardPlan(axis="vocab", merge="concat")
+
+    def test_partition_covers_everything_contiguously(self):
+        parts = ShardPlan(n_shards=4).partition(10)
+        assert len(parts) == 4
+        assert np.array_equal(np.concatenate(parts), np.arange(10))
+
+    def test_partition_with_scarce_items_leaves_empty_shards(self):
+        parts = ShardPlan(n_shards=5).partition(2)
+        assert sum(len(p) for p in parts) == 2
+        assert len(parts) == 5
+
+
+class TestBatchAxisParity:
+    @pytest.mark.parametrize("name", ["alsh", "clustering", "exact", "threshold"])
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 5, 96, 200])
+    def test_bit_identical_to_inner(self, problem, name, n_shards):
+        weight, queries, model = problem
+        plain, sharded = _build_pair(
+            name, weight, model, n_shards=n_shards, shard_axis="batch"
+        )
+        _assert_bit_identical(
+            plain.search_batch(queries), sharded.search_batch(queries)
+        )
+
+    @pytest.mark.parametrize("name", ["alsh", "clustering", "exact", "threshold"])
+    def test_single_query_matrix(self, problem, name):
+        weight, queries, model = problem
+        plain, sharded = _build_pair(name, weight, model, n_shards=4)
+        _assert_bit_identical(
+            plain.search_batch(queries[:1]), sharded.search_batch(queries[:1])
+        )
+
+    def test_scalar_search_parity(self, problem):
+        weight, queries, model = problem
+        for name in available_backends():
+            plain, sharded = _build_pair(name, weight, model, n_shards=3)
+            assert sharded.search(queries[0]) == plain.search_batch(
+                queries[:1]
+            ).result(0), name
+
+    def test_shard_stats_populated(self, problem):
+        weight, queries, model = problem
+        _, sharded = _build_pair("exact", weight, model, n_shards=4)
+        result = sharded.search_batch(queries)
+        stats = result.shards
+        assert stats is not None and stats.axis == "batch"
+        assert stats.n_shards == 4
+        assert int(stats.sizes.sum()) == len(queries)
+        assert int(stats.comparisons.sum()) == int(result.comparisons.sum())
+
+    def test_plain_backends_leave_shards_none(self, problem):
+        weight, queries, model = problem
+        assert build_backend("exact", weight).search_batch(queries).shards is None
+
+
+class TestVocabAxisParity:
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 7, 64, 300])
+    def test_exact_bit_identical(self, problem, n_shards):
+        weight, queries, model = problem
+        plain, sharded = _build_pair(
+            "exact", weight, model, n_shards=n_shards, shard_axis="vocab"
+        )
+        _assert_bit_identical(
+            plain.search_batch(queries), sharded.search_batch(queries)
+        )
+
+    def test_respects_custom_scan_order(self, problem):
+        weight, queries, _ = problem
+        order = np.random.default_rng(5).permutation(weight.shape[0])
+        plain = get_backend("exact").build(weight, order)
+        sharded = get_backend("sharded:exact").build(
+            weight, order, n_shards=3, shard_axis="vocab"
+        )
+        _assert_bit_identical(
+            plain.search_batch(queries), sharded.search_batch(queries)
+        )
+
+    def test_tie_break_matches_sequential_scan(self):
+        """Duplicated rows straddling a shard boundary: first in scan
+        order must win, exactly like the strict > running maximum."""
+        rng = np.random.default_rng(0)
+        weight = rng.normal(size=(8, 4))
+        weight[6] = weight[1]  # bitwise-identical rows in different shards
+        queries = rng.normal(size=(16, 4))
+        plain = get_backend("exact").build(weight)
+        sharded = get_backend("sharded:exact").build(
+            weight, n_shards=2, shard_axis="vocab"
+        )
+        _assert_bit_identical(
+            plain.search_batch(queries), sharded.search_batch(queries)
+        )
+
+    @pytest.mark.parametrize("name", ["alsh", "clustering", "threshold"])
+    def test_non_exhaustive_backends_rejected(self, problem, name):
+        weight, _, model = problem
+        with pytest.raises(ValueError, match="exhaustive"):
+            get_backend(f"sharded:{name}").build(
+                weight, threshold_model=model, n_shards=2, shard_axis="vocab"
+            )
+
+    def test_vocab_shard_stats(self, problem):
+        weight, queries, model = problem
+        _, sharded = _build_pair(
+            "exact", weight, model, n_shards=4, shard_axis="vocab"
+        )
+        stats = sharded.search_batch(queries).shards
+        assert stats.axis == "vocab"
+        assert int(stats.sizes.sum()) == weight.shape[0]
+
+
+class TestExecutor:
+    def test_concurrent_shards_match_sequential(self, problem):
+        weight, queries, model = problem
+        sequential = get_backend("sharded:threshold").build(
+            weight, threshold_model=model, n_shards=4
+        )
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            concurrent = get_backend("sharded:threshold").build(
+                weight, threshold_model=model, n_shards=4, executor=pool
+            )
+            _assert_bit_identical(
+                sequential.search_batch(queries),
+                concurrent.search_batch(queries),
+            )
+
+
+class TestEngineIntegration:
+    @pytest.fixture(scope="class")
+    def system(self, small_suite):
+        return small_suite.tasks[1]
+
+    @pytest.mark.parametrize("name", ["alsh", "clustering", "exact", "threshold"])
+    def test_trained_model_parity(self, system, name):
+        """A real trained system: sharded engine == plain engine on the
+        whole test set, through BatchInferenceEngine."""
+        batch = system.test_batch
+        args = (batch.stories, batch.questions, batch.story_lengths)
+        plain = system.batch_engine_with(name).search(*args)
+        sharded = system.batch_engine_with(
+            f"sharded:{name}", n_shards=4
+        ).search(*args)
+        _assert_bit_identical(plain, sharded)
+
+    def test_trace_surfaces_shard_stats(self, system):
+        batch = system.test_batch
+        engine = system.batch_engine_with("sharded:threshold", n_shards=3)
+        trace = engine.forward_trace(
+            batch.stories, batch.questions, batch.story_lengths
+        )
+        assert trace.search is not None
+        assert trace.search.shards is not None
+        assert trace.search.shards.n_shards == 3
+        assert int(trace.search.shards.sizes.sum()) == len(batch)

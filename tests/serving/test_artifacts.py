@@ -7,7 +7,11 @@ import pytest
 
 from repro.artifacts import (
     FORMAT_VERSION,
+    SUPPORTED_VERSIONS,
+    check_format_version,
+    decode_quantized_weights,
     decode_threshold_model,
+    encode_quantized_weights,
     encode_threshold_model,
     load_suite,
     save_suite,
@@ -15,6 +19,7 @@ from repro.artifacts import (
 )
 from repro.eval.experiments import run_table1
 from repro.eval.suite import BabiSuite, SuiteConfig
+from repro.mann.quantize import QFormat, QuantizedWeights
 from repro.mips.thresholding import fit_threshold_model
 
 
@@ -109,6 +114,133 @@ class TestKdeCodec:
         restored = decode_threshold_model(encode_threshold_model(model))
         assert restored.uses_kde
         assert np.array_equal(restored.thresholds(0.9), model.thresholds(0.9))
+
+
+class TestFormatVersion:
+    def test_current_version_is_supported(self):
+        assert FORMAT_VERSION == 2
+        assert FORMAT_VERSION in SUPPORTED_VERSIONS
+        assert check_format_version(FORMAT_VERSION) == FORMAT_VERSION
+
+    def test_older_supported_version_accepted(self, tiny_suite, tmp_path):
+        """A PR 3 (version 1) directory still loads: the v2 additions
+        are optional files older writers never produced."""
+        directory = save_suite(tiny_suite, tmp_path / "arts")
+        marker = directory / "suite.json"
+        manifest = json.loads(marker.read_text())
+        manifest["format_version"] = 1
+        marker.write_text(json.dumps(manifest))
+        assert load_suite(directory).task_ids == tiny_suite.task_ids
+
+    def test_future_version_rejected_with_upgrade_hint(
+        self, tiny_suite, tmp_path
+    ):
+        directory = save_suite(tiny_suite, tmp_path / "arts")
+        marker = directory / "suite.json"
+        manifest = json.loads(marker.read_text())
+        manifest["format_version"] = FORMAT_VERSION + 1
+        marker.write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="newer build"):
+            load_suite(directory)
+
+    def test_non_integer_version_rejected(self):
+        with pytest.raises(ValueError, match="format_version"):
+            check_format_version(None)
+        with pytest.raises(ValueError, match="format_version"):
+            check_format_version("2")
+
+
+class TestQuantizedArtifacts:
+    @pytest.fixture(scope="class")
+    def quantized_dir(self, tiny_suite, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("quantized_artifacts")
+        return save_suite(tiny_suite, directory, qformat=QFormat(3, 8))
+
+    def test_round_trip_is_bit_exact(self, tiny_suite, quantized_dir):
+        loaded = load_suite(quantized_dir)
+        for task_id, system in tiny_suite.tasks.items():
+            restored = loaded.tasks[task_id].quantized
+            assert restored is not None
+            assert restored.qformat == QFormat(3, 8)
+            snapped, _ = QuantizedWeights.quantize(
+                system.weights, QFormat(3, 8)
+            )
+            for name in ("w_emb_a", "w_emb_c", "w_emb_q", "w_r", "w_o", "t_a", "t_c"):
+                assert np.array_equal(
+                    getattr(restored.weights, name),
+                    getattr(snapped.weights, name),
+                )
+
+    def test_verify_covers_quantized_weights(self, quantized_dir):
+        assert verify_artifacts(quantized_dir).task_ids == [1, 6]
+
+    def test_verify_detects_tampered_codes(self, tiny_suite, tmp_path):
+        directory = save_suite(
+            tiny_suite, tmp_path / "arts", qformat=QFormat(3, 8)
+        )
+        path = directory / "task_01" / "quantized.npz"
+        with np.load(path) as data:
+            arrays = {key: data[key].copy() for key in data}
+        arrays["code_w_o"][0, 0] += 1
+        np.savez(path, **arrays)
+        with pytest.raises(AssertionError, match="quantized weight"):
+            verify_artifacts(directory)
+
+    def test_codec_inverse(self, tiny_suite):
+        system = tiny_suite.tasks[1]
+        quantized, report = QuantizedWeights.quantize(
+            system.weights, QFormat(2, 6)
+        )
+        decoded = decode_quantized_weights(
+            encode_quantized_weights(quantized), system.weights.config
+        )
+        assert decoded.qformat == quantized.qformat
+        assert np.array_equal(decoded.weights.w_o, quantized.weights.w_o)
+        assert report.compression_ratio > 1.0
+
+    def test_resave_preserves_loaded_snapshot(self, quantized_dir, tmp_path):
+        """Saving a *loaded* suite keeps its quantized weights without
+        re-deriving them (the float model is still present, so they
+        must re-verify too)."""
+        loaded = load_suite(quantized_dir)
+        resaved = save_suite(loaded, tmp_path / "resave")
+        again = verify_artifacts(resaved)
+        assert again.tasks[1].quantized is not None
+
+    def test_unquantized_artifacts_have_no_snapshot(self, artifacts_dir):
+        assert load_suite(artifacts_dir).tasks[1].quantized is None
+
+    def test_quantized_serving_matches_in_memory_quantization(
+        self, tiny_suite, quantized_dir
+    ):
+        """open_predictor(quantized=True) serves the snapped weights."""
+        from repro.mann.batch import BatchInferenceEngine
+        from repro.serving import QueryRequest, open_predictor
+
+        batch = tiny_suite.tasks[1].test_batch
+        requests = [
+            QueryRequest(
+                batch.stories[i], batch.questions[i], int(batch.story_lengths[i])
+            )
+            for i in range(len(batch))
+        ]
+        predictor = open_predictor(str(quantized_dir), 1, quantized=True)
+        responses = predictor.predict_batch(requests)
+
+        snapped, _ = QuantizedWeights.quantize(
+            tiny_suite.tasks[1].weights, QFormat(3, 8)
+        )
+        engine = BatchInferenceEngine(snapped.weights, "exact")
+        reference = engine.search(
+            batch.stories, batch.questions, batch.story_lengths
+        )
+        assert [r.label for r in responses] == list(reference.labels)
+
+    def test_quantized_predictor_requires_snapshot(self, artifacts_dir):
+        from repro.serving import open_predictor
+
+        with pytest.raises(ValueError, match="quantized"):
+            open_predictor(str(artifacts_dir), 1, quantized=True)
 
 
 class TestFailureModes:

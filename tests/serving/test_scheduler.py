@@ -160,6 +160,160 @@ class TestWorker:
         scheduler.close()  # idempotent
 
 
+class TestWorkerPool:
+    """Flush execution on the n_workers pool: sub-batch dispatch,
+    submission-order reassembly, and Future semantics under load."""
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            BatchScheduler(StubPredictor(), n_workers=0, start_worker=False)
+
+    def test_flush_splits_into_sub_batches(self):
+        stub = StubPredictor()
+        scheduler = BatchScheduler(
+            stub, max_batch=16, n_workers=4, start_worker=False
+        )
+        futures = [scheduler.submit(_request(i)) for i in range(16)]
+        # The max-batch flush ran as 4 concurrent sub-batches of 4.
+        assert sorted(stub.flush_sizes) == [4, 4, 4, 4]
+        assert [f.result().label for f in futures] == list(range(16))
+        assert scheduler.stats.flushes == 1
+        assert scheduler.stats.batch_sizes == [16]
+        assert scheduler.stats.shards_per_flush == [4]
+        scheduler.close()
+
+    def test_partition_hook_used_when_present(self):
+        class PartitioningStub(StubPredictor):
+            def partition_batch(self, requests, n):
+                # Odd/even split — any index cover must be honoured.
+                return [
+                    [i for i in range(len(requests)) if i % 2 == 0],
+                    [i for i in range(len(requests)) if i % 2 == 1],
+                ]
+
+        stub = PartitioningStub()
+        scheduler = BatchScheduler(
+            stub, max_batch=8, n_workers=2, start_worker=False
+        )
+        futures = [scheduler.submit(_request(i)) for i in range(8)]
+        assert sorted(stub.flush_sizes) == [4, 4]
+        assert [f.result().label for f in futures] == list(range(8))
+        scheduler.close()
+
+    def test_partition_hook_error_resolves_futures(self):
+        """A raising partition hook must fail the flush's futures, not
+        strand them RUNNING (and not kill the deadline thread)."""
+
+        class BrokenHook(StubPredictor):
+            def partition_batch(self, requests, n):
+                raise KeyError("unroutable task")
+
+        scheduler = BatchScheduler(
+            BrokenHook(), max_batch=4, n_workers=2, start_worker=False
+        )
+        futures = [scheduler.submit(_request(i)) for i in range(4)]
+        for future in futures:
+            assert isinstance(future.exception(timeout=1.0), KeyError)
+        scheduler.close()
+
+    def test_sub_batch_error_is_contained(self):
+        """A failing sub-batch poisons only its own futures."""
+
+        class HalfBroken(StubPredictor):
+            def predict_batch(self, requests):
+                if any(int(r.request_id) >= 4 for r in requests):
+                    raise RuntimeError("shard down")
+                return super().predict_batch(requests)
+
+        scheduler = BatchScheduler(
+            HalfBroken(), max_batch=8, n_workers=2, start_worker=False
+        )
+        futures = [scheduler.submit(_request(i)) for i in range(8)]
+        assert [f.result().label for f in futures[:4]] == [0, 1, 2, 3]
+        for future in futures[4:]:
+            assert isinstance(future.exception(), RuntimeError)
+        scheduler.close()
+
+    def test_stress_concurrent_submitters_with_cancellations(self):
+        """The satellite stress contract: many submitters + mixed
+        cancellations, no lost or duplicated futures, every response
+        mapped to its own request."""
+        stub = StubPredictor()
+        scheduler = BatchScheduler(
+            stub, max_batch=16, max_wait_s=0.002, n_workers=4
+        )
+        n_clients, per_client = 8, 50
+        futures: dict[int, object] = {}
+        cancelled: set[int] = set()
+        lock = threading.Lock()
+
+        def client(base: int):
+            for i in range(base, base + per_client):
+                future = scheduler.submit(_request(i))
+                with lock:
+                    futures[i] = future
+                # Try to cancel a deterministic ~20% slice immediately;
+                # cancellation only wins while the flush has not
+                # started, so some attempts legitimately fail.
+                if i % 5 == 0 and future.cancel():
+                    with lock:
+                        cancelled.add(i)
+                if i % 7 == 0:
+                    time.sleep(0)  # jitter the interleaving
+
+        threads = [
+            threading.Thread(target=client, args=(k * per_client,))
+            for k in range(n_clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = n_clients * per_client
+        results = {}
+        for i, future in futures.items():
+            if i in cancelled:
+                assert future.cancelled(), i
+            else:
+                results[i] = future.result(timeout=10.0)
+        scheduler.close()
+
+        # No lost futures: every non-cancelled submission resolved.
+        assert len(futures) == total
+        assert len(results) == total - len(cancelled)
+        # No duplicated/crossed responses: each echoes its request id.
+        assert all(r.label == i for i, r in results.items())
+        # No duplicated execution: the predictor saw each request once.
+        assert sum(stub.flush_sizes) == total - len(cancelled)
+        assert scheduler.stats.requests == total - len(cancelled)
+        assert all(n >= 1 for n in scheduler.stats.shards_per_flush)
+
+    def test_real_predictor_pool_matches_single_worker(self, tiny_suite):
+        """n_workers > 1 must not change any answer on a real engine."""
+        batch = tiny_suite.tasks[1].test_batch
+        predictor = open_predictor(tiny_suite, 1, mips_backend="threshold")
+        requests = [
+            QueryRequest(
+                batch.stories[i],
+                batch.questions[i],
+                int(batch.story_lengths[i]),
+                request_id=i,
+            )
+            for i in range(len(batch))
+        ]
+        with BatchScheduler(
+            predictor, max_batch=len(requests), n_workers=3, start_worker=False
+        ) as pooled:
+            futures = [pooled.submit(r) for r in requests]
+            pooled.flush()
+            answers = [f.result(timeout=10.0) for f in futures]
+        direct = predictor.predict_batch(requests)
+        assert [r.label for r in answers] == [r.label for r in direct]
+        assert [r.comparisons for r in answers] == [
+            r.comparisons for r in direct
+        ]
+
+
 class TestWithRealPredictor:
     def test_scheduled_results_match_direct_calls(self, tiny_suite):
         system = tiny_suite.tasks[1]

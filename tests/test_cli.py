@@ -161,6 +161,52 @@ class TestServingCommands:
         out = capsys.readouterr().out
         assert "one-at-a-time" in out
         assert "micro-batching speedup" in out
+        assert "worker-pool speedup" in out
+
+    def test_serve_bench_workers_and_shards(self, cli_artifacts, capsys):
+        code = main(
+            [
+                "serve-bench", "--artifacts", cli_artifacts,
+                "--requests", "24", "--max-batch", "8",
+                "--workers", "2", "--shards", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worker pool (2 workers, 2 shards)" in out
+        assert "per-route requests: task 1: 24" in out
+
+    def test_serve_bench_vocab_axis(self, cli_artifacts, capsys):
+        code = main(
+            [
+                "serve-bench", "--artifacts", cli_artifacts,
+                "--requests", "16", "--max-batch", "8",
+                "--workers", "2", "--shards", "2", "--shard-axis", "vocab",
+            ]
+        )
+        assert code == 0
+        assert "worker pool" in capsys.readouterr().out
+
+    def test_train_quantize_and_query_quantized(self, tmp_path, capsys):
+        directory = str(tmp_path / "qsuite")
+        assert main(["train", "--save", directory, "--quantize", "3", "8", *TINY]) == 0
+        assert "Q3.8 fixed-point snapshot" in capsys.readouterr().out
+        assert main(["query", "--artifacts", directory, "--task", "1", "--quantized"]) == 0
+        assert "quantized weights" in capsys.readouterr().out
+
+    def test_serve_bench_vocab_axis_needs_exact_backend(self, cli_artifacts):
+        with pytest.raises(SystemExit, match="exact"):
+            main(
+                [
+                    "serve-bench", "--artifacts", cli_artifacts,
+                    "--mips-backend", "threshold",
+                    "--shards", "2", "--shard-axis", "vocab",
+                ]
+            )
+
+    def test_query_quantized_without_snapshot_exits(self, cli_artifacts):
+        with pytest.raises(SystemExit, match="quantized"):
+            main(["query", "--artifacts", cli_artifacts, "--task", "1", "--quantized"])
 
 
 class TestArtifactsFlag:
