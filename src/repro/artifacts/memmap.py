@@ -1,0 +1,104 @@
+"""Zero-copy access to saved ``.npz`` archives.
+
+``np.load(path, mmap_mode="r")`` silently ignores ``mmap_mode`` for
+zip archives, so serving workers that "mmap the npz" with it would in
+fact read private copies — one full weight set per process.
+:func:`mmap_npz` does what that call pretends to: because
+:func:`numpy.savez` stores members uncompressed (``ZIP_STORED``), each
+member's ``.npy`` byte stream sits contiguously inside the archive, so
+every array can be mapped read-only straight out of the zip at its
+member offset. All worker processes then share the same page-cache
+pages for the weights — loading them "once, zero-copy" regardless of
+how many workers fork.
+
+Each member is located via its zip local file header (the central
+directory's ``header_offset`` plus the 30-byte fixed header and the
+name/extra fields), then the standard ``.npy`` magic + header is parsed
+with :mod:`numpy.lib.format` to find the raw data offset, dtype and
+shape for :class:`numpy.memmap`. Members that cannot be mapped —
+compressed, object-dtype, or empty — fall back to a normal in-memory
+read, so the function degrades gracefully instead of failing.
+
+The maps are opened ``mode="r"``: mutating a mapped array raises, which
+is exactly the contract serving wants for shared weights.
+"""
+
+from __future__ import annotations
+
+import struct
+import zipfile
+from pathlib import Path
+
+import numpy as np
+from numpy.lib import format as npy_format
+
+_LOCAL_HEADER_SIZE = 30
+_LOCAL_HEADER_MAGIC = b"PK\x03\x04"
+
+
+def _member_data_offset(raw, info: zipfile.ZipInfo) -> int:
+    """Absolute file offset of a ZIP_STORED member's first data byte."""
+    raw.seek(info.header_offset)
+    header = raw.read(_LOCAL_HEADER_SIZE)
+    if len(header) != _LOCAL_HEADER_SIZE or header[:4] != _LOCAL_HEADER_MAGIC:
+        raise ValueError(f"bad local file header for {info.filename!r}")
+    name_len, extra_len = struct.unpack("<HH", header[26:30])
+    return info.header_offset + _LOCAL_HEADER_SIZE + name_len + extra_len
+
+
+def _read_npy_header(raw):
+    """Parse the ``.npy`` magic + header at the current position."""
+    version = npy_format.read_magic(raw)
+    readers = {
+        (1, 0): npy_format.read_array_header_1_0,
+        (2, 0): npy_format.read_array_header_2_0,
+    }
+    reader = readers.get(version)
+    if reader is None:
+        raise ValueError(f"unsupported .npy format version {version}")
+    return reader(raw)
+
+
+def _map_member(path: Path, raw, info: zipfile.ZipInfo) -> np.ndarray:
+    data_offset = _member_data_offset(raw, info)
+    raw.seek(data_offset)
+    shape, fortran_order, dtype = _read_npy_header(raw)
+    if dtype.hasobject:
+        raise ValueError("object arrays cannot be memory-mapped")
+    if int(np.prod(shape)) == 0:
+        # np.memmap refuses zero-length maps; an empty array has no
+        # bytes to share anyway.
+        return np.zeros(shape, dtype=dtype, order="F" if fortran_order else "C")
+    return np.memmap(
+        path,
+        dtype=dtype,
+        shape=shape,
+        order="F" if fortran_order else "C",
+        mode="r",
+        offset=raw.tell(),
+    )
+
+
+def mmap_npz(path) -> dict[str, np.ndarray]:
+    """Open every array in ``path`` (an ``.npz``) as a read-only map.
+
+    Returns ``{name: array}`` with the ``.npy`` suffix stripped from
+    member names, matching ``np.load`` keys. Arrays are bit-identical
+    to a normal load (the artifacts round-trip test pins this); members
+    that cannot be mapped are read into memory instead.
+    """
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive, open(path, "rb") as raw:
+        for info in archive.infolist():
+            name = info.filename
+            key = name[: -len(".npy")] if name.endswith(".npy") else name
+            if info.compress_type == zipfile.ZIP_STORED:
+                try:
+                    arrays[key] = _map_member(path, raw, info)
+                    continue
+                except (ValueError, OSError):
+                    pass  # fall through to the copying reader
+            with archive.open(info) as member:
+                arrays[key] = npy_format.read_array(member)
+    return arrays

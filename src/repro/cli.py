@@ -24,11 +24,14 @@ directory written by ``train --save`` instead of retraining.
 
 ``serve-bench`` drives the sharded multi-task serving runtime: one
 ``ModelRouter`` holding a predictor per task behind a single scheduler,
-whose flushes a pool of ``--workers`` threads executes as concurrent
+whose flushes a pool of ``--workers`` workers executes as concurrent
 sub-batches, each predictor scanning through a ``sharded:<backend>``
-MIPS engine partitioned ``--shards`` ways along ``--shard-axis``. It
-reports one-at-a-time vs single-worker vs worker-pool throughput and
-per-route traffic.
+MIPS engine partitioned ``--shards`` ways along ``--shard-axis``. With
+``--worker-mode process`` the flush pool is a ``ProcessPoolExecutor``
+whose workers rebuild each route from ``--artifacts`` with mmap-shared
+weights — the mode that actually scales CPU-bound scans across cores.
+It reports one-at-a-time vs single-worker vs worker-pool throughput
+and per-route traffic.
 """
 
 from __future__ import annotations
@@ -64,8 +67,11 @@ _EPILOG = (
     "Serving: `train --quantize M N` persists fixed-point weights that "
     "`query --quantized` serves; `serve-bench --workers W --shards S "
     "--tasks ...` routes a mixed-task request stream through one "
-    "scheduler with a W-thread worker pool over S-way sharded MIPS "
-    "backends (--shard-axis batch|vocab)."
+    "scheduler with a W-worker flush pool over S-way sharded MIPS "
+    "backends (--shard-axis batch|vocab). --worker-mode process swaps "
+    "the GIL-bound thread pool for worker processes rebuilt from "
+    "--artifacts with mmap-shared weights (zero-copy; encoded arrays "
+    "on the pipe)."
 )
 
 
@@ -310,10 +316,21 @@ def _cmd_serve_bench(args: argparse.Namespace) -> None:
     """
     from repro.serving import ModelRouter
 
-    if args.shard_axis == "vocab" and args.shards > 1 and args.mips_backend != "exact":
+    if (
+        args.shard_axis == "vocab"
+        and args.shards > 1
+        and args.mips_backend not in ("exact", "threshold")
+    ):
         raise SystemExit(
-            f"--shard-axis vocab requires the exact backend "
-            f"(an exhaustive scan); got --mips-backend {args.mips_backend}"
+            f"--shard-axis vocab requires an exhaustive scan (exact) or "
+            f"the vocab-shardable threshold scan; got --mips-backend "
+            f"{args.mips_backend}"
+        )
+    if args.worker_mode == "process" and args.artifacts is None:
+        raise SystemExit(
+            "--worker-mode process requires --artifacts DIR: worker "
+            "processes rebuild each route from the saved artifact "
+            "directory (train one with `train --save DIR`)"
         )
     suite = _obtain_suite(args)
     requests = _mixed_task_requests(suite, args.requests)
@@ -330,12 +347,17 @@ def _cmd_serve_bench(args: argparse.Namespace) -> None:
     one_at_a_time = time.perf_counter() - start
     direct.close()
 
-    def timed_run(n_workers: int, shards: int):
+    def timed_run(n_workers: int, shards: int, worker_mode: str = "thread"):
+        # Process workers rebuild their routes from the artifact
+        # directory, so the path (not the loaded suite) is the source.
+        source = suite if worker_mode == "thread" else args.artifacts
         router = ModelRouter.open(
-            suite,
+            source,
+            tasks=list(suite.tasks),
             n_workers=n_workers,
             shards=shards if shards > 1 else None,
             shard_axis=args.shard_axis,
+            worker_mode=worker_mode,
             **open_kwargs,
         )
         start = time.perf_counter()
@@ -346,7 +368,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> None:
         return time.perf_counter() - start, router
 
     single_seconds, single = timed_run(1, 1)
-    pooled_seconds, pooled = timed_run(args.workers, args.shards)
+    pooled_seconds, pooled = timed_run(
+        args.workers, args.shards, args.worker_mode
+    )
 
     table = TextTable(
         ["submission", "requests/s", "mean batch", "mean latency (ms)"],
@@ -368,7 +392,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> None:
     )
     table.add_row(
         [
-            f"worker pool ({args.workers} workers, {args.shards} shards)",
+            f"worker pool ({args.workers} {args.worker_mode} workers, "
+            f"{args.shards} shards)",
             f"{args.requests / pooled_seconds:.0f}",
             f"{pooled.stats.mean_batch_size:.1f}",
             f"{pooled.stats.mean_latency_s * 1e3:.2f}",
@@ -576,7 +601,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("batch", "vocab"),
         default="batch",
         help="partition axis of the sharded MIPS scan (vocab requires "
-        "the exact backend)",
+        "the exact or threshold backend)",
+    )
+    bench.add_argument(
+        "--worker-mode",
+        choices=("thread", "process"),
+        default="thread",
+        help="flush worker pool kind: 'thread' shares the GIL (cheap, "
+        "but CPU-bound scans serialise); 'process' rebuilds each route "
+        "in worker processes from --artifacts with mmap-shared weights "
+        "(requires --artifacts; default: thread)",
     )
     bench.set_defaults(handler=_cmd_serve_bench)
 

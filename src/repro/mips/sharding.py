@@ -5,18 +5,35 @@ scanning memory partitions concurrently; this module is the software
 shape of that structure. A :class:`ShardedBackend` wraps any registered
 backend and partitions ``search_batch`` along one of two axes:
 
-* ``axis="batch"`` — the query axis. Each shard is a contiguous slice
-  of the batch, answered by the *same* inner backend; results are
-  merged by concatenation. Exact for every backend, because queries
-  are independent and the shared scoring kernel
+* ``axis="batch"`` — the query axis. Each shard is any disjoint subset
+  of the batch (contiguous by default), answered by the *same* inner
+  backend; per-query results are scattered back to their submission
+  positions. Exact for every backend, because queries are independent
+  and the shared scoring kernel
   (:func:`~repro.mips.backend.inner_products`) is partition-stable.
 * ``axis="vocab"`` — the candidate axis. The scan order is split into
-  contiguous chunks, one inner backend per chunk over its slice of the
-  output rows; per-query winners are merged with the sequential scan's
-  strict ``>`` running maximum, in scan order. Exactness requires the
-  inner scan to visit every candidate, so this axis is restricted to
-  backends documented exhaustive (``min_recall == 1.0`` — the exact
-  scan); approximate or speculative engines raise.
+  contiguous chunks, one weight partition per chunk over its slice of
+  the output rows. Two merge overlays exist, picked by the inner
+  backend:
+
+  - exhaustive scans (``min_recall == 1.0`` — the exact backend):
+    per-query winners merge with the sequential scan's strict ``>``
+    running maximum, in scan order, seeded from the first shard so
+    all-``-inf`` rows still resolve to the first candidate in scan
+    order exactly like the unsharded argmax.
+  - speculative scans declaring ``vocab_shardable = True`` (inference
+    thresholding): each shard reports its first *clearing* position
+    (``z > theta``) plus its local fallback argmax; the merge takes the
+    earliest clearing position in global scan order (comparisons = its
+    1-based position, ``early_exit`` set), falling back to the
+    running-maximum merge when no shard clears — identical labels,
+    logits, comparison counts and early-exit flags to the unsharded
+    Step-4 kernel. The shard engines snapshot ``theta`` at build time;
+    retuning thresholds afterwards requires rebuilding the wrapper.
+
+  Other approximate engines (ALSH, clustering) raise: their candidate
+  generation depends on the whole index, so a vocab partition cannot be
+  bit-identical to the unsharded engine.
 
 Both axes produce **bit-identical** :class:`BatchSearchResult` arrays
 to the unwrapped backend — labels, logits, comparisons and early-exit
@@ -28,7 +45,7 @@ registered engines. Per-shard execution statistics ride along in
 Backends compose through the registry::
 
     engine = get_backend("sharded:threshold").build(
-        w_o, threshold_model=tm, n_shards=4, shard_axis="batch"
+        w_o, threshold_model=tm, n_shards=4, shard_axis="vocab"
     )
 
 An optional ``executor`` (any ``concurrent.futures.Executor``) runs
@@ -42,13 +59,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.mips.backend import get_backend
+from repro.mips.backend import get_backend, inner_products
 from repro.mips.stats import BatchSearchResult, SearchResult, ShardStats
 
 AXES = ("batch", "vocab")
-#: Merge rules: "concat" reassembles batch-axis slices in submission
-#: order; "running-max" replays the sequential scan's strict > maximum
-#: across vocab-axis partitions. "auto" picks by axis.
+#: Merge rules: "concat" reassembles batch-axis shards at their
+#: submission positions; "running-max" replays the sequential scan's
+#: strict > maximum across vocab-axis partitions (speculative inner
+#: scans additionally merge per-shard clearing positions first).
+#: "auto" picks by axis.
 MERGES = ("auto", "concat", "running-max")
 
 
@@ -58,6 +77,11 @@ class ShardPlan:
 
     ``n_shards`` is an upper bound: fewer items than shards simply
     leave trailing shards empty (they are skipped, not errors).
+    ``partition`` may be overridden; batch-axis partitions may be any
+    disjoint cover of the items (results are scattered back by index),
+    while vocab-axis partitions must stay contiguous ascending runs —
+    the merge walks shards in scan order, so an interleaved vocab
+    partition could not reproduce the sequential tie-break.
     """
 
     n_shards: int = 2
@@ -89,13 +113,56 @@ class ShardPlan:
         return np.array_split(np.arange(n_items, dtype=np.int64), self.n_shards)
 
 
+def _check_partition_cover(parts: list[np.ndarray], n_items: int, what: str):
+    """Every item assigned to exactly one shard — wrong partitions must
+    fail loudly, not silently drop or duplicate results."""
+    total = sum(len(p) for p in parts)
+    flat = (
+        np.concatenate([np.asarray(p, dtype=np.int64) for p in parts])
+        if parts
+        else np.zeros(0, dtype=np.int64)
+    )
+    if (
+        total != n_items
+        or (flat.size and (flat.min() < 0 or flat.max() >= n_items))
+        or not np.all(np.bincount(flat, minlength=n_items) == 1)
+    ):
+        raise ValueError(
+            f"shard plan does not partition the {n_items} {what}: each "
+            "index must appear in exactly one shard"
+        )
+
+
+def _check_contiguous(parts: list[np.ndarray]):
+    for part in parts:
+        if len(part) and not np.array_equal(
+            part, np.arange(part[0], part[0] + len(part))
+        ):
+            raise ValueError(
+                "vocab-axis shard plans must partition the scan order "
+                "into contiguous ascending runs (the merge walks shards "
+                "in scan order)"
+            )
+
+
+@dataclass
+class _SpeculativeShard:
+    """One vocab shard's reductions of the thresholded scan."""
+
+    exceeded: np.ndarray  # (B,) bool: any z > theta inside this chunk
+    first_pos: np.ndarray  # (B,) int64 first clearing pos, chunk-local
+    first_logits: np.ndarray  # (B,) float64 logit at that position
+    fallback_pos: np.ndarray  # (B,) int64 chunk-local argmax position
+    fallback_logits: np.ndarray  # (B,) float64 logit at the argmax
+
+
 class ShardedBackend:
     """Partition-parallel wrapper satisfying the ``MipsBackend`` protocol.
 
     Construct via the registry (``get_backend("sharded:<inner>")``) or
     directly with an inner backend name and its build context. The
     wrapper owns either one inner engine over the full weight (batch
-    axis) or one engine per scan-order chunk (vocab axis).
+    axis) or one weight partition per scan-order chunk (vocab axis).
     """
 
     def __init__(
@@ -120,25 +187,43 @@ class ShardedBackend:
         if plan.axis == "batch":
             self._inner = inner_cls.build(self.weight, order, **context)
             self._chunks = None
-        else:
-            if getattr(inner_cls, "min_recall", 0.0) < 1.0:
-                raise ValueError(
-                    f"vocab-axis sharding requires an exhaustive scan "
-                    f"(min_recall == 1.0); backend {self.inner_name!r} is "
-                    f"approximate or speculative — use shard_axis='batch'"
-                )
-            # Partition the *scan order*, not the raw index range, so a
-            # custom visit order keeps its tie-break semantics: the
-            # running-max merge walks shards in scan order exactly like
-            # the sequential comparator walks indices. The full-size
-            # engine only resolves the order and is dropped — shard
-            # engines hold the only live weight copies.
-            full = inner_cls.build(self.weight, order, **context)
-            self._inner = None
-            self._chunks = [
-                full.order[part]
-                for part in plan.partition(self.weight.shape[0])
+            return
+
+        exhaustive = getattr(inner_cls, "min_recall", 0.0) >= 1.0
+        speculative = getattr(inner_cls, "vocab_shardable", False)
+        if not (exhaustive or speculative):
+            raise ValueError(
+                f"vocab-axis sharding requires an exhaustive scan "
+                f"(min_recall == 1.0) or a vocab-shardable speculative "
+                f"scan; backend {self.inner_name!r} is approximate — "
+                f"use shard_axis='batch'"
+            )
+        # Partition the *scan order*, not the raw index range, so a
+        # custom visit order keeps its tie-break semantics: both vocab
+        # merges walk shards in scan order exactly like the sequential
+        # comparator walks indices. The full-size engine only resolves
+        # the order (and, for speculative scans, the thresholds) and is
+        # dropped — shard partitions hold the only live weight copies.
+        full = inner_cls.build(self.weight, order, **context)
+        self._inner = None
+        parts = plan.partition(self.weight.shape[0])
+        _check_partition_cover(parts, self.weight.shape[0], "scan positions")
+        _check_contiguous(parts)
+        self._chunks = [full.order[part] for part in parts]
+        # Global visit position where each chunk starts (empty chunks
+        # contribute zero length, keeping offsets aligned).
+        sizes = [len(c) for c in self._chunks]
+        self._offsets = np.concatenate(([0], np.cumsum(sizes)))[:-1]
+        if speculative:
+            self._vocab_merge = "speculative"
+            theta_ordered = full.theta[full.order]
+            self._shard_engines = None
+            self._spec_shards = [
+                (self.weight[chunk], theta_ordered[part])
+                for chunk, part in zip(self._chunks, parts)
             ]
+        else:
+            self._vocab_merge = "running-max"
             self._shard_engines = [
                 inner_cls.build(self.weight[chunk], None, **context)
                 if len(chunk)
@@ -169,6 +254,8 @@ class ShardedBackend:
             queries = queries[None, :]
         if self.plan.axis == "batch":
             return self._search_batch_axis(queries)
+        if self._vocab_merge == "speculative":
+            return self._search_vocab_speculative(queries)
         return self._search_vocab_axis(queries)
 
     def _run_shards(self, jobs):
@@ -182,40 +269,78 @@ class ShardedBackend:
         if not parts:  # empty batch: one empty inner call keeps shapes
             empty = self._inner.search_batch(queries)
             return self._with_stats(empty, [empty], "batch", [0])
+        _check_partition_cover(parts, len(queries), "queries")
+        # Index with the partition arrays themselves: a plan override
+        # may assign any disjoint subset to a shard, so results are
+        # scattered back to their submission positions rather than
+        # concatenated (which would silently assume contiguous runs).
         results = self._run_shards(
             [
-                (lambda p=part: self._inner.search_batch(queries[p[0]: p[-1] + 1]))
+                (lambda p=part: self._inner.search_batch(queries[p]))
                 for part in parts
             ]
         )
+        n = len(queries)
+        labels = np.empty(n, dtype=np.int64)
+        logits = np.empty(n, dtype=np.float64)
+        comparisons = np.empty(n, dtype=np.int64)
+        early_exits = np.empty(n, dtype=bool)
+        for part, result in zip(parts, results):
+            labels[part] = result.labels
+            logits[part] = result.logits
+            comparisons[part] = result.comparisons
+            early_exits[part] = result.early_exits
         merged = BatchSearchResult(
-            labels=np.concatenate([r.labels for r in results]),
-            logits=np.concatenate([r.logits for r in results]),
-            comparisons=np.concatenate([r.comparisons for r in results]),
-            early_exits=np.concatenate([r.early_exits for r in results]),
+            labels=labels,
+            logits=logits,
+            comparisons=comparisons,
+            early_exits=early_exits,
         )
         return self._with_stats(merged, results, "batch", [len(p) for p in parts])
 
     def _search_vocab_axis(self, queries: np.ndarray) -> BatchSearchResult:
         n_queries = len(queries)
-        jobs = [
-            (lambda engine=engine: engine.search_batch(queries))
-            for engine in self._shard_engines
+        live = [
+            (chunk, engine)
+            for chunk, engine in zip(self._chunks, self._shard_engines)
             if engine is not None
         ]
-        chunks = [c for c in self._chunks if len(c)]
-        results = self._run_shards(jobs)
+        results = self._run_shards(
+            [
+                (lambda engine=engine: engine.search_batch(queries))
+                for _, engine in live
+            ]
+        )
+        chunks = [chunk for chunk, _ in live]
+        if not results:  # zero-row weight: keep the sentinel shapes
+            merged = BatchSearchResult(
+                labels=np.full(n_queries, -1, dtype=np.int64),
+                logits=np.full(n_queries, -np.inf),
+                comparisons=np.zeros(n_queries, dtype=np.int64),
+                early_exits=np.zeros(n_queries, dtype=bool),
+            )
+            return self._with_stats(merged, results, "vocab", [])
 
-        best_labels = np.full(n_queries, -1, dtype=np.int64)
-        best_logits = np.full(n_queries, -np.inf)
-        comparisons = np.zeros(n_queries, dtype=np.int64)
-        for chunk, result in zip(chunks, results):
+        # Seed the running maximum from the first shard instead of a
+        # -1/-inf sentinel: when every shard score is -inf (all-masked
+        # candidate rows) the strict > below never fires, and the merge
+        # must still fall back to the first candidate in scan order —
+        # exactly what the unsharded scan's first-occurrence argmax
+        # returns.
+        first, chunk0 = results[0], chunks[0]
+        best_labels = np.where(
+            first.labels >= 0, chunk0[first.labels], -1
+        ).astype(np.int64)
+        best_logits = first.logits.copy()
+        comparisons = first.comparisons.astype(np.int64).copy()
+        for chunk, result in zip(chunks[1:], results[1:]):
             # Strict > replays the sequential comparator: an exact tie
             # stays with the earlier shard, i.e. the first index in
             # scan order, exactly like the unsharded running maximum.
             wins = result.logits > best_logits
+            mapped = np.where(result.labels >= 0, chunk[result.labels], -1)
             best_logits = np.where(wins, result.logits, best_logits)
-            best_labels = np.where(wins, chunk[result.labels], best_labels)
+            best_labels = np.where(wins, mapped, best_labels)
             comparisons += result.comparisons
         merged = BatchSearchResult(
             labels=best_labels,
@@ -226,6 +351,101 @@ class ShardedBackend:
         return self._with_stats(
             merged, results, "vocab", [len(c) for c in chunks]
         )
+
+    def _search_vocab_speculative(self, queries: np.ndarray) -> BatchSearchResult:
+        """Vocab-sharded Step 4: merge per-shard clearing positions.
+
+        Each shard scans its scan-order slice with the shared
+        partition-stable kernel; the earliest clearing position in
+        global scan order wins speculatively, otherwise the fallback
+        argmax merges exactly like the exhaustive running maximum.
+        """
+        n_queries = len(queries)
+        rows = np.arange(n_queries)
+
+        def scan(weight, theta):
+            logits = inner_products(queries, weight)  # (B, C) scan-order slice
+            exceed = logits > theta[None, :]
+            first_pos = np.argmax(exceed, axis=1)
+            fallback_pos = np.argmax(logits, axis=1)
+            return _SpeculativeShard(
+                exceeded=exceed.any(axis=1),
+                first_pos=first_pos,
+                first_logits=logits[rows, first_pos],
+                fallback_pos=fallback_pos,
+                fallback_logits=logits[rows, fallback_pos],
+            )
+
+        live = [
+            (chunk, offset, weight, theta)
+            for chunk, offset, (weight, theta) in zip(
+                self._chunks, self._offsets, self._spec_shards
+            )
+            if len(chunk)
+        ]
+        results = self._run_shards(
+            [
+                (lambda w=weight, t=theta: scan(w, t))
+                for _, _, weight, theta in live
+            ]
+        )
+        chunks = [chunk for chunk, _, _, _ in live]
+        offsets = [offset for _, offset, _, _ in live]
+
+        # Speculative winner: the first shard in scan order reporting a
+        # clearing position — its chunk-local position plus the chunk's
+        # global offset is exactly the unsharded kernel's first index
+        # with z > theta.
+        exceeded = np.stack([r.exceeded for r in results])  # (S, B)
+        speculated = exceeded.any(axis=0)
+        winner = np.argmax(exceeded, axis=0)  # first clearing shard
+        spec_labels = np.stack(
+            [chunk[r.first_pos] for chunk, r in zip(chunks, results)]
+        )[winner, rows]
+        spec_logits = np.stack([r.first_logits for r in results])[winner, rows]
+        spec_comparisons = np.stack(
+            [offset + r.first_pos + 1 for offset, r in zip(offsets, results)]
+        )[winner, rows]
+
+        # Fallback rows replay the full-scan argmax: strict > running
+        # maximum over the shard-local argmaxes, seeded from the first
+        # shard (first occurrence wins ties, like np.argmax).
+        fb_labels = chunks[0][results[0].fallback_pos]
+        fb_logits = results[0].fallback_logits.copy()
+        for chunk, result in zip(chunks[1:], results[1:]):
+            wins = result.fallback_logits > fb_logits
+            fb_logits = np.where(wins, result.fallback_logits, fb_logits)
+            fb_labels = np.where(wins, chunk[result.fallback_pos], fb_labels)
+
+        comparisons = np.where(
+            speculated, spec_comparisons, self.num_indices
+        ).astype(np.int64)
+        merged = BatchSearchResult(
+            labels=np.where(speculated, spec_labels, fb_labels),
+            logits=np.where(speculated, spec_logits, fb_logits),
+            comparisons=comparisons,
+            early_exits=speculated,
+        )
+        # Per-shard accounting: charge each shard the slice of the
+        # merged sequential comparison count that falls inside its
+        # chunk, so shard comparisons sum to the merged total exactly.
+        sizes = np.array([len(c) for c in chunks], dtype=np.int64)
+        per_shard = [
+            int(
+                np.clip(comparisons - offset, 0, size).sum()
+            )
+            for offset, size in zip(offsets, sizes)
+        ]
+        exits = [
+            int((speculated & (winner == s)).sum()) for s in range(len(chunks))
+        ]
+        merged.shards = ShardStats(
+            axis="vocab",
+            sizes=sizes,
+            comparisons=np.asarray(per_shard, dtype=np.int64),
+            early_exits=np.asarray(exits, dtype=np.int64),
+        )
+        return merged
 
     @staticmethod
     def _with_stats(merged, shard_results, axis, sizes) -> BatchSearchResult:
@@ -252,10 +472,11 @@ def sharded_backend_factory(inner_name: str) -> type:
     """A class-like ``build`` target for ``get_backend("sharded:<inner>")``.
 
     Mirrors the inner backend's introspection attributes
-    (``requires_threshold_model``, ``min_recall``) so consumers that
-    fail fast on missing context keep working, and exposes a ``build``
-    classmethod with the uniform registry signature plus the sharding
-    knobs ``n_shards`` / ``shard_axis`` / ``merge`` / ``executor``.
+    (``requires_threshold_model``, ``min_recall``, ``vocab_shardable``)
+    so consumers that fail fast on missing context keep working, and
+    exposes a ``build`` classmethod with the uniform registry signature
+    plus the sharding knobs ``n_shards`` / ``shard_axis`` / ``merge`` /
+    ``executor``.
     """
     key = inner_name.strip().lower()
     if key.startswith("sharded"):
@@ -291,6 +512,7 @@ def sharded_backend_factory(inner_name: str) -> type:
                 inner_cls, "requires_threshold_model", False
             ),
             "min_recall": getattr(inner_cls, "min_recall", 0.0),
+            "vocab_shardable": getattr(inner_cls, "vocab_shardable", False),
             "build": classmethod(build),
         },
     )

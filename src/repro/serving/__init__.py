@@ -21,6 +21,10 @@ The deployment story of the repro in three calls::
   ``n_workers`` flush workers (each flush split into concurrent shard
   sub-batches), recording per-request latency, per-flush batch sizes
   and sub-batch counts in :class:`ServingStats`.
+  ``worker_mode="process"`` swaps the GIL-bound thread pool for worker
+  processes that rebuild artifact-backed predictors locally from
+  picklable :class:`WorkerSpec` recipes, sharing the weights zero-copy
+  via the memory-mapped artifacts npz.
 * :class:`ModelRouter` — many named predictors (one per bAbI task)
   behind one shared scheduler, routed by ``QueryRequest.task`` with
   per-route statistics::
@@ -42,10 +46,13 @@ from repro.serving.predictor import (
     open_predictor,
 )
 from repro.serving.router import ModelRouter
-from repro.serving.scheduler import BatchScheduler
+from repro.serving.scheduler import WORKER_MODES, BatchScheduler
+from repro.serving.worker import WorkerSpec
 
 __all__ = [
     "BatchScheduler",
+    "WORKER_MODES",
+    "WorkerSpec",
     "DEVICES",
     "HardwarePredictor",
     "ModelRouter",

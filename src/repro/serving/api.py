@@ -84,6 +84,16 @@ class Predictor(Protocol):
     the :class:`~repro.serving.BatchScheduler` worker pool should
     dispatch as concurrent sub-batches (the router partitions by task
     this way); without the hook the scheduler splits contiguously.
+
+    Predictors servable with ``worker_mode="process"`` expose three
+    more hooks (see :mod:`repro.serving.worker`):
+    ``worker_specs() -> list[WorkerSpec]`` (picklable rebuild recipes
+    for the pool initializer), ``worker_payload(requests)`` (the spec +
+    encoded arrays shipped to a worker for one sub-batch), and
+    ``worker_decode(requests, labels, logits, comparisons,
+    early_exits)`` (parent-side decoding of the worker's stacked result
+    arrays into responses, sharing the thread path's decode so the two
+    modes answer identically).
     """
 
     def predict(self, request: QueryRequest) -> QueryResponse: ...

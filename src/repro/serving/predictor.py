@@ -34,6 +34,7 @@ from repro.hw.accelerator import MannAccelerator
 from repro.hw.config import HwConfig
 from repro.mann.batch import BatchInferenceEngine, infer_story_lengths
 from repro.serving.api import QueryRequest, QueryResponse
+from repro.serving.worker import WorkerSpec
 
 DEVICES = ("sw", "hw")
 
@@ -97,6 +98,7 @@ class SoftwarePredictor:
         engine: BatchInferenceEngine,
         vocab: Vocab | None = None,
         task_id: int | None = None,
+        spec: WorkerSpec | None = None,
     ):
         if engine.mips is None:
             raise ValueError(
@@ -105,9 +107,38 @@ class SoftwarePredictor:
         self.engine = engine
         self.vocab = vocab
         self.task_id = task_id
+        #: Picklable rebuild recipe when opened from an artifact
+        #: directory; process-mode scheduling requires it.
+        self.spec = spec
 
     def predict(self, request: QueryRequest) -> QueryResponse:
         return self.predict_batch([request])[0]
+
+    def _responses(
+        self, requests, labels, logits, comparisons, early_exits
+    ) -> list[QueryResponse]:
+        """Decode stacked result arrays into responses.
+
+        One code path for both execution modes: the thread path feeds
+        it the in-process ``search`` arrays, the process path the
+        arrays shipped back by ``predict_encoded`` — so the two modes
+        produce identical responses by construction.
+        """
+        return [
+            QueryResponse(
+                label=int(labels[i]),
+                logit=float(logits[i]),
+                comparisons=int(comparisons[i]),
+                early_exit=bool(early_exits[i]),
+                answer=(
+                    self.vocab.word(int(labels[i]))
+                    if self.vocab is not None and int(labels[i]) >= 0
+                    else None
+                ),
+                request_id=request.request_id,
+            )
+            for i, request in enumerate(requests)
+        ]
 
     def predict_batch(
         self, requests: Sequence[QueryRequest]
@@ -116,21 +147,40 @@ class SoftwarePredictor:
             requests, self.engine.config.memory_size
         )
         results = self.engine.search(stories, questions, lengths)
-        return [
-            QueryResponse(
-                label=int(results.labels[i]),
-                logit=float(results.logits[i]),
-                comparisons=int(results.comparisons[i]),
-                early_exit=bool(results.early_exits[i]),
-                answer=(
-                    self.vocab.word(int(results.labels[i]))
-                    if self.vocab is not None and int(results.labels[i]) >= 0
-                    else None
-                ),
-                request_id=request.request_id,
+        return self._responses(
+            requests,
+            results.labels,
+            results.logits,
+            results.comparisons,
+            results.early_exits,
+        )
+
+    # -- process-worker hooks (see repro.serving.worker) ---------------
+    def worker_specs(self) -> list[WorkerSpec]:
+        """The specs a process pool needs to rebuild this predictor."""
+        if self.spec is None:
+            raise ValueError(
+                "worker_mode='process' needs artifact-backed predictors "
+                "(workers rebuild the model from the artifact directory); "
+                "open via open_predictor(<artifact dir>, ...) or "
+                "ModelRouter.open(<artifact dir>, ...)"
             )
-            for i, request in enumerate(requests)
-        ]
+        return [self.spec]
+
+    def worker_payload(self, requests: Sequence[QueryRequest]):
+        """Encode one sub-batch for ``predict_encoded``: its spec plus
+        the stacked arrays — the only things that cross the pipe."""
+        (spec,) = self.worker_specs()
+        stories, questions, lengths = _stack_requests(
+            requests, self.engine.config.memory_size
+        )
+        return spec, stories, questions, lengths
+
+    def worker_decode(
+        self, requests, labels, logits, comparisons, early_exits
+    ) -> list[QueryResponse]:
+        """Decode a worker's stacked arrays (parent-side)."""
+        return self._responses(requests, labels, logits, comparisons, early_exits)
 
 
 class HardwarePredictor:
@@ -235,6 +285,7 @@ def open_predictor(
     shards: int | None = None,
     shard_axis: str = "batch",
     quantized: bool = False,
+    spec_source=None,
     **params,
 ):
     """Open a unified :class:`Predictor` over saved or in-memory models.
@@ -255,9 +306,27 @@ def open_predictor(
     ``device="hw"`` the backend runs inside the accelerator's OUTPUT
     module via ``hw_config`` (only ``rho``/``index_ordering`` tune it;
     sharding is a software MIPS-layer construct and is rejected).
+
+    Predictors opened from an artifact directory additionally carry a
+    :class:`~repro.serving.worker.WorkerSpec` so
+    ``BatchScheduler(worker_mode="process")`` can rebuild them inside
+    worker processes. ``spec_source`` supplies the directory explicitly
+    when the caller already loaded the suite (as ``ModelRouter.open``
+    does) but still wants process-servable predictors.
     """
     if device not in DEVICES:
         raise ValueError(f"unknown device {device!r}; expected one of {DEVICES}")
+    if spec_source is None and isinstance(artifacts, (str, Path)):
+        spec_source = artifacts
+    # Capture the rebuild recipe before the shards shorthand rewrites
+    # mips_backend/params below — the worker replays the same call.
+    spec_args = dict(
+        mips_backend=str(mips_backend),
+        shards=shards,
+        shard_axis=shard_axis,
+        quantized=bool(quantized),
+        params=tuple(sorted(params.items())),
+    )
     system, vocab = _resolve_system(artifacts, task_id)
 
     weights = system.weights
@@ -282,7 +351,16 @@ def open_predictor(
             threshold_model=system.threshold_model,
             **params,
         )
-        return SoftwarePredictor(engine, vocab=vocab, task_id=system.task_id)
+        spec = (
+            WorkerSpec(
+                artifacts=str(spec_source), task_id=system.task_id, **spec_args
+            )
+            if spec_source is not None
+            else None
+        )
+        return SoftwarePredictor(
+            engine, vocab=vocab, task_id=system.task_id, spec=spec
+        )
 
     if shards is not None:
         raise ValueError(

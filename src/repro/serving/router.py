@@ -65,6 +65,47 @@ class _RoutingPredictor:
                 responses[i] = response
         return responses
 
+    # -- process-worker hooks (see repro.serving.worker) ---------------
+    def worker_specs(self):
+        """Every route's rebuild spec, for the process pool initializer."""
+        specs = []
+        for task in sorted(self._routes, key=repr):
+            predictor = self._routes[task]
+            hook = getattr(predictor, "worker_specs", None)
+            if hook is None:
+                raise ValueError(
+                    f"route {task!r} ({type(predictor).__name__}) cannot "
+                    "serve in worker_mode='process' — it has no worker "
+                    "hooks"
+                )
+            specs.extend(hook())
+        return specs
+
+    def _single_route(self, requests: Sequence[QueryRequest]):
+        tasks = {self._resolve(request) for request in requests}
+        if len(tasks) != 1:
+            # partition_batch makes task-pure chunks; a mixed chunk
+            # means a custom partition bypassed it.
+            raise ValueError(
+                f"process sub-batch spans tasks {sorted(tasks, key=repr)}; "
+                "sub-batches must be single-task"
+            )
+        return tasks.pop()
+
+    def worker_payload(self, requests: Sequence[QueryRequest]):
+        return self._routes[self._single_route(requests)].worker_payload(
+            requests
+        )
+
+    def worker_decode(self, requests, labels, logits, comparisons, early_exits):
+        task = self._single_route(requests)
+        responses = self._routes[task].worker_decode(
+            requests, labels, logits, comparisons, early_exits
+        )
+        with self._stats_lock:
+            self._route_stats[task].record_flush(len(requests))
+        return responses
+
     def partition_batch(
         self, requests: Sequence[QueryRequest], n: int
     ) -> list[list[int]]:
@@ -110,6 +151,7 @@ class ModelRouter:
         max_batch: int = 32,
         max_wait_s: float = 0.005,
         n_workers: int = 1,
+        worker_mode: str = "thread",
         start_worker: bool = True,
     ):
         if not predictors:
@@ -127,6 +169,7 @@ class ModelRouter:
             max_wait_s=max_wait_s,
             start_worker=start_worker,
             n_workers=n_workers,
+            worker_mode=worker_mode,
         )
 
     # -- construction ----------------------------------------------------
@@ -144,6 +187,7 @@ class ModelRouter:
         max_batch: int = 32,
         max_wait_s: float = 0.005,
         n_workers: int = 1,
+        worker_mode: str = "thread",
         start_worker: bool = True,
         **params,
     ) -> "ModelRouter":
@@ -155,15 +199,20 @@ class ModelRouter:
         The remaining keywords go to ``open_predictor`` per route —
         including the shard-parallel MIPS knobs ``shards``/
         ``shard_axis`` and ``quantized`` serving.
+        ``worker_mode="process"`` requires ``artifacts`` to be a
+        directory path: the worker processes rebuild each route from it
+        (mmap-shared weights; see :mod:`repro.serving.worker`).
         """
         from pathlib import Path
 
         from repro.eval.suite import BabiSuite, TaskSystem
         from repro.serving.predictor import open_predictor
 
+        spec_source = None
         if isinstance(artifacts, (str, Path)):
             from repro.artifacts import load_suite
 
+            spec_source = artifacts
             artifacts = load_suite(artifacts)
         if isinstance(artifacts, TaskSystem):
             artifacts_tasks = [artifacts.task_id]
@@ -190,6 +239,7 @@ class ModelRouter:
                 shards=shards,
                 shard_axis=shard_axis,
                 quantized=quantized,
+                spec_source=spec_source,
                 **params,
             )
             for task in tasks
@@ -199,6 +249,7 @@ class ModelRouter:
             max_batch=max_batch,
             max_wait_s=max_wait_s,
             n_workers=n_workers,
+            worker_mode=worker_mode,
             start_worker=start_worker,
         )
 

@@ -18,13 +18,30 @@ With ``n_workers == 1`` (the default) a flush is one inline
 single-worker scheduler. With ``n_workers > 1`` each flush is split
 into up to ``n_workers`` sub-batches — contiguous slices, or whatever
 the predictor's optional ``partition_batch`` hook returns (the router
-partitions by task) — dispatched concurrently on a thread pool and
-reassembled in submission order. Future semantics are unchanged
-either way: a future cancelled before its flush is skipped, every
-other future resolves with its own response (or the sub-batch's
-exception). The predictor must be thread-safe to benefit from
-``n_workers > 1``; the numpy engines are (frozen weights, no shared
-mutable state).
+partitions by task) — dispatched concurrently and reassembled in
+submission order. ``worker_mode`` picks the pool:
+
+* ``"thread"`` (default) — a ``ThreadPoolExecutor`` running
+  ``predict_batch`` in-process. Cheap, but CPU-bound einsum scans
+  serialise on the GIL, so it only helps when the predictor releases
+  the GIL (large BLAS calls) or blocks on I/O.
+* ``"process"`` — a ``ProcessPoolExecutor`` whose workers rebuild the
+  predictor locally from its picklable
+  :class:`~repro.serving.worker.WorkerSpec` (artifact directory +
+  backend + sharding + quantized flag), memory-mapping the artifacts
+  npz so all workers share one set of weight pages. Only encoded
+  sub-batch arrays cross the pipe (via the predictor's
+  ``worker_payload`` hook); stacked result arrays come back and are
+  decoded parent-side by ``worker_decode`` — the same decode the
+  thread path uses, so responses are bit-identical between modes.
+  Requires an artifact-backed predictor; the pool exists even at
+  ``n_workers == 1`` (execution is still out-of-process).
+
+Future semantics are unchanged either way: a future cancelled before
+its flush is skipped, every other future resolves with its own
+response (or the sub-batch's exception). The predictor must be
+thread-safe to benefit from ``worker_mode="thread"``; the numpy
+engines are (frozen weights, no shared mutable state).
 
 Per-request latency, per-flush batch sizes and per-flush sub-batch
 counts are recorded in :class:`~repro.serving.api.ServingStats` — the
@@ -36,10 +53,13 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 
 from repro.serving.api import Predictor, QueryRequest, QueryResponse, ServingStats
+from repro.serving.worker import initialize_worker, predict_encoded
+
+WORKER_MODES = ("thread", "process")
 
 
 @dataclass
@@ -68,6 +88,7 @@ class BatchScheduler:
         max_wait_s: float = 0.005,
         start_worker: bool = True,
         n_workers: int = 1,
+        worker_mode: str = "thread",
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -75,24 +96,52 @@ class BatchScheduler:
             raise ValueError("max_wait_s must be >= 0")
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if worker_mode not in WORKER_MODES:
+            raise ValueError(
+                f"worker_mode must be one of {WORKER_MODES}, got {worker_mode!r}"
+            )
         self.predictor = predictor
         self.max_batch = int(max_batch)
         self.max_wait_s = float(max_wait_s)
         self.n_workers = int(n_workers)
+        self.worker_mode = worker_mode
         self.stats = ServingStats()
         self._pending: list[_Pending] = []
         self._cond = threading.Condition()
         self._exec_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         self._closed = False
-        self._pool: ThreadPoolExecutor | None = (
-            ThreadPoolExecutor(
+        # _pool is guarded by _pool_cond: flushes take a usage token
+        # (_acquire_pool/_release_pool) and close() retires the pool
+        # only once every in-flight flush has released — see close().
+        self._pool_cond = threading.Condition()
+        self._pool_users = 0
+        if worker_mode == "process":
+            # Fail at construction, not at first flush: process mode
+            # needs a predictor that can describe itself as WorkerSpecs.
+            specs_hook = getattr(predictor, "worker_specs", None)
+            if specs_hook is None:
+                raise ValueError(
+                    "worker_mode='process' needs a predictor with "
+                    "worker_specs/worker_payload/worker_decode hooks "
+                    "(open it from an artifact directory)"
+                )
+            # Even one process worker runs out-of-process, so the pool
+            # exists for every n_workers in this mode.
+            self._pool = ProcessPoolExecutor(
                 max_workers=self.n_workers,
-                thread_name_prefix="BatchSchedulerWorker",
+                initializer=initialize_worker,
+                initargs=(specs_hook(),),
             )
-            if self.n_workers > 1
-            else None
-        )
+        else:
+            self._pool = (
+                ThreadPoolExecutor(
+                    max_workers=self.n_workers,
+                    thread_name_prefix="BatchSchedulerWorker",
+                )
+                if self.n_workers > 1
+                else None
+            )
         self._worker: threading.Thread | None = None
         if start_worker:
             self._worker = threading.Thread(
@@ -132,7 +181,15 @@ class BatchScheduler:
             self._execute(batch)
 
     def close(self) -> None:
-        """Flush outstanding requests and stop the workers. Idempotent."""
+        """Flush outstanding requests and stop the workers. Idempotent.
+
+        A max-batch flush from a racing ``submit()`` may still be in
+        flight here; the pool is retired only after every such flush
+        has released its usage token, so ``_execute`` never observes
+        the pool disappearing mid-flush (the old code nulled the pool
+        immediately, stranding already-RUNNING futures with an
+        AttributeError in the flushing thread).
+        """
         with self._cond:
             self._closed = True
             self._cond.notify_all()
@@ -140,9 +197,12 @@ class BatchScheduler:
             self._worker.join()
             self._worker = None
         self.flush()
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._pool_cond:
+            while self._pool_users:
+                self._pool_cond.wait()
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __enter__(self) -> "BatchScheduler":
         return self
@@ -204,6 +264,26 @@ class BatchScheduler:
             start = stop
         return [c for c in chunks if c]
 
+    def _acquire_pool(self):
+        """Take a usage token on the pool, or None when it is gone.
+
+        Holding a token blocks ``close()`` from shutting the pool down,
+        so a captured pool reference stays submittable for the whole
+        flush — this (plus the inline fallback in ``_execute``) is the
+        fix for the close/flush race.
+        """
+        with self._pool_cond:
+            if self._pool is None:
+                return None
+            self._pool_users += 1
+            return self._pool
+
+    def _release_pool(self) -> None:
+        with self._pool_cond:
+            self._pool_users -= 1
+            if not self._pool_users:
+                self._pool_cond.notify_all()
+
     def _execute(self, batch: list[_Pending]) -> None:
         # Transition every future to RUNNING first: a future the caller
         # already cancelled drops out here, and the rest can no longer
@@ -213,31 +293,94 @@ class BatchScheduler:
         batch = [p for p in batch if p.future.set_running_or_notify_cancel()]
         if not batch:
             return
-        if self._pool is None:
+        pool = self._acquire_pool()
+        if pool is None:
+            # Single-worker mode, or close() already retired the pool
+            # out from under a racing max-batch flush: answer inline so
+            # the RUNNING futures resolve instead of stranding.
             with self._exec_lock:  # one predictor call at a time
                 self._run_chunk(batch)
             with self._stats_lock:
                 self.stats.record_flush(len(batch), n_shards=1)
             return
         try:
-            chunks = self._partition(batch)
-        except Exception as error:
-            # The partition hook is predictor code too: a raising hook
-            # must resolve (not strand) the already-RUNNING futures,
-            # and must not kill the deadline thread.
-            for pending in batch:
-                pending.future.set_exception(error)
-            return
-        done = [
-            self._pool.submit(self._run_chunk, chunk) for chunk in chunks[1:]
-        ]
+            try:
+                chunks = self._partition(batch)
+            except Exception as error:
+                # The partition hook is predictor code too: a raising
+                # hook must resolve (not strand) the already-RUNNING
+                # futures, and must not kill the deadline thread.
+                for pending in batch:
+                    pending.future.set_exception(error)
+                return
+            if self.worker_mode == "process":
+                self._execute_process(pool, chunks)
+            else:
+                self._execute_threads(pool, chunks)
+            with self._stats_lock:
+                self.stats.record_flush(len(batch), n_shards=len(chunks))
+        finally:
+            self._release_pool()
+
+    def _execute_threads(self, pool, chunks: list[list[_Pending]]) -> None:
+        submitted = []
+        failure = None
+        for chunk in chunks[1:]:
+            if failure is None:
+                try:
+                    submitted.append(pool.submit(self._run_chunk, chunk))
+                    continue
+                except Exception as error:  # e.g. a broken executor
+                    failure = error
+            for pending in chunk:
+                pending.future.set_exception(failure)
         # The flushing thread works one sub-batch itself instead of
         # idling — with W workers a flush occupies W threads, not W+1.
         self._run_chunk(chunks[0])
-        for future in done:
+        for future in submitted:
             future.result()  # _run_chunk never raises; propagate crashes
-        with self._stats_lock:
-            self.stats.record_flush(len(batch), n_shards=len(chunks))
+
+    def _execute_process(self, pool, chunks: list[list[_Pending]]) -> None:
+        """Ship each sub-batch's encoded arrays to a worker process.
+
+        Every chunk is submitted before any result is awaited so the
+        pool works them concurrently; each stage resolves its own
+        chunk's futures on failure (a bad payload, a broken pool, a
+        worker exception) without stranding the other chunks.
+        """
+        jobs: list[tuple[list[_Pending], Future | None]] = []
+        for chunk in chunks:
+            try:
+                payload = self.predictor.worker_payload(
+                    [p.request for p in chunk]
+                )
+                jobs.append((chunk, pool.submit(predict_encoded, *payload)))
+            except Exception as error:
+                for pending in chunk:
+                    pending.future.set_exception(error)
+                jobs.append((chunk, None))
+        for chunk, job in jobs:
+            if job is None:
+                continue
+            try:
+                labels, logits, comparisons, early_exits = job.result()
+                responses = self.predictor.worker_decode(
+                    [p.request for p in chunk],
+                    labels,
+                    logits,
+                    comparisons,
+                    early_exits,
+                )
+            except Exception as error:
+                for pending in chunk:
+                    pending.future.set_exception(error)
+                continue
+            done = time.perf_counter()
+            latencies = [done - pending.submitted_at for pending in chunk]
+            with self._stats_lock:
+                self.stats.latencies_s.extend(latencies)
+            for pending, response, latency in zip(chunk, responses, latencies):
+                pending.future.set_result(replace(response, latency_s=latency))
 
     def _run_chunk(self, chunk: list[_Pending]) -> None:
         """Answer one sub-batch, resolving its futures in order."""

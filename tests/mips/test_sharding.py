@@ -53,6 +53,22 @@ def _assert_bit_identical(plain: BatchSearchResult, sharded: BatchSearchResult):
     assert np.array_equal(plain.early_exits, sharded.early_exits)
 
 
+class StridedPlan(ShardPlan):
+    """Non-contiguous partition: shard s takes items s, s+n, s+2n, ..."""
+
+    def partition(self, n_items):
+        idx = np.arange(n_items, dtype=np.int64)
+        return [idx[s :: self.n_shards] for s in range(self.n_shards)]
+
+
+class BrokenPlan(ShardPlan):
+    """Drops the last item — must be rejected, not silently wrong."""
+
+    def partition(self, n_items):
+        idx = np.arange(max(n_items - 1, 0), dtype=np.int64)
+        return list(np.array_split(idx, self.n_shards))
+
+
 class TestRegistry:
     def test_prefix_resolves_every_backend(self):
         for name in available_backends():
@@ -157,6 +173,31 @@ class TestBatchAxisParity:
         weight, queries, model = problem
         assert build_backend("exact", weight).search_batch(queries).shards is None
 
+    @pytest.mark.parametrize("name", ["alsh", "clustering", "exact", "threshold"])
+    def test_non_contiguous_plan_parity(self, problem, name):
+        """A partition override assigning interleaved query subsets:
+        results must scatter back to submission positions bit-exactly
+        (the old code sliced queries[p[0]:p[-1]+1], silently assuming
+        contiguous runs)."""
+        weight, queries, model = problem
+        plain = build_backend(name, weight, threshold_model=model, seed=0)
+        sharded = ShardedBackend(
+            weight,
+            name,
+            StridedPlan(n_shards=3, axis="batch"),
+            threshold_model=model,
+            seed=0,
+        )
+        _assert_bit_identical(
+            plain.search_batch(queries), sharded.search_batch(queries)
+        )
+
+    def test_non_covering_plan_rejected(self, problem):
+        weight, queries, _ = problem
+        sharded = ShardedBackend(weight, "exact", BrokenPlan(n_shards=2))
+        with pytest.raises(ValueError, match="exactly one shard"):
+            sharded.search_batch(queries)
+
 
 class TestVocabAxisParity:
     @pytest.mark.parametrize("n_shards", [1, 2, 3, 7, 64, 300])
@@ -195,13 +236,44 @@ class TestVocabAxisParity:
             plain.search_batch(queries), sharded.search_batch(queries)
         )
 
-    @pytest.mark.parametrize("name", ["alsh", "clustering", "threshold"])
+    @pytest.mark.parametrize("name", ["alsh", "clustering"])
     def test_non_exhaustive_backends_rejected(self, problem, name):
         weight, _, model = problem
         with pytest.raises(ValueError, match="exhaustive"):
             get_backend(f"sharded:{name}").build(
                 weight, threshold_model=model, n_shards=2, shard_axis="vocab"
             )
+
+    def test_all_masked_rows_fall_back_to_first_in_scan_order(self):
+        """Every shard score -inf: the merge must return the first
+        candidate in scan order (like the unsharded first-occurrence
+        argmax), not the -1/-inf sentinel."""
+        weight = np.ones((8, 4))
+        queries = np.full((5, 4), -np.inf)  # every inner product is -inf
+        plain = get_backend("exact").build(weight)
+        sharded = get_backend("sharded:exact").build(
+            weight, n_shards=3, shard_axis="vocab"
+        )
+        expected = plain.search_batch(queries)
+        assert np.array_equal(expected.labels, np.zeros(5, dtype=np.int64))
+        _assert_bit_identical(expected, sharded.search_batch(queries))
+
+    def test_all_masked_rows_with_custom_order(self):
+        weight = np.ones((9, 3))
+        queries = np.full((4, 3), -np.inf)
+        order = np.random.default_rng(11).permutation(9)
+        plain = get_backend("exact").build(weight, order)
+        sharded = get_backend("sharded:exact").build(
+            weight, order, n_shards=4, shard_axis="vocab"
+        )
+        expected = plain.search_batch(queries)
+        assert np.array_equal(expected.labels, np.full(4, order[0]))
+        _assert_bit_identical(expected, sharded.search_batch(queries))
+
+    def test_non_contiguous_vocab_partition_rejected(self, problem):
+        weight, _, model = problem
+        with pytest.raises(ValueError, match="contiguous"):
+            ShardedBackend(weight, "exact", StridedPlan(n_shards=3, axis="vocab"))
 
     def test_vocab_shard_stats(self, problem):
         weight, queries, model = problem
@@ -211,6 +283,87 @@ class TestVocabAxisParity:
         stats = sharded.search_batch(queries).shards
         assert stats.axis == "vocab"
         assert int(stats.sizes.sum()) == weight.shape[0]
+
+
+class TestVocabAxisThreshold:
+    """The speculative scan shards on the vocab axis too: per-shard
+    clearing positions merge to the unsharded Step-4 kernel exactly —
+    labels, logits, comparison counts and early-exit flags."""
+
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 7, 64, 300])
+    def test_bit_identical_to_inner(self, problem, n_shards):
+        weight, queries, model = problem
+        plain, sharded = _build_pair(
+            "threshold", weight, model, n_shards=n_shards, shard_axis="vocab"
+        )
+        result = plain.search_batch(queries)
+        _assert_bit_identical(result, sharded.search_batch(queries))
+
+    @pytest.mark.parametrize("rho", [1.0, 0.9, 0.5])
+    def test_parity_across_rho(self, problem, rho):
+        """Different rho values move the speculation rate; the merge
+        must track the clearing positions at every setting."""
+        weight, queries, model = problem
+        plain = build_backend("threshold", weight, threshold_model=model, rho=rho)
+        sharded = get_backend("sharded:threshold").build(
+            weight, threshold_model=model, rho=rho, n_shards=4, shard_axis="vocab"
+        )
+        expected = plain.search_batch(queries)
+        _assert_bit_identical(expected, sharded.search_batch(queries))
+
+    def test_speculation_actually_exercised(self, problem):
+        """Guard the fixture: the parity matrix must cover both the
+        speculative and the fallback path."""
+        weight, queries, model = problem
+        plain = build_backend("threshold", weight, threshold_model=model)
+        result = plain.search_batch(queries)
+        assert result.early_exits.any()
+
+    def test_without_index_ordering(self, problem):
+        weight, queries, model = problem
+        plain = build_backend(
+            "threshold", weight, threshold_model=model, index_ordering=False
+        )
+        sharded = get_backend("sharded:threshold").build(
+            weight,
+            threshold_model=model,
+            index_ordering=False,
+            n_shards=3,
+            shard_axis="vocab",
+        )
+        _assert_bit_identical(
+            plain.search_batch(queries), sharded.search_batch(queries)
+        )
+
+    def test_shard_comparisons_sum_to_merged_total(self, problem):
+        weight, queries, model = problem
+        _, sharded = _build_pair(
+            "threshold", weight, model, n_shards=4, shard_axis="vocab"
+        )
+        result = sharded.search_batch(queries)
+        stats = result.shards
+        assert stats is not None and stats.axis == "vocab"
+        assert int(stats.sizes.sum()) == weight.shape[0]
+        assert int(stats.comparisons.sum()) == int(result.comparisons.sum())
+        assert int(stats.early_exits.sum()) == int(result.early_exits.sum())
+
+    def test_concurrent_executor_parity(self, problem):
+        weight, queries, model = problem
+        sequential = get_backend("sharded:threshold").build(
+            weight, threshold_model=model, n_shards=4, shard_axis="vocab"
+        )
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            concurrent = get_backend("sharded:threshold").build(
+                weight,
+                threshold_model=model,
+                n_shards=4,
+                shard_axis="vocab",
+                executor=pool,
+            )
+            _assert_bit_identical(
+                sequential.search_batch(queries),
+                concurrent.search_batch(queries),
+            )
 
 
 class TestExecutor:

@@ -288,6 +288,86 @@ class TestWorkerPool:
         assert scheduler.stats.requests == total - len(cancelled)
         assert all(n >= 1 for n in scheduler.stats.shards_per_flush)
 
+    def test_cancel_between_submit_and_flush_on_pool_path(self):
+        """Cancellation must be honoured by the pooled flush too: the
+        cancelled requests drop out before partitioning, the rest
+        resolve normally across the sub-batches."""
+        stub = StubPredictor()
+        scheduler = BatchScheduler(
+            stub, max_batch=8, n_workers=2, start_worker=False
+        )
+        futures = [scheduler.submit(_request(i)) for i in range(6)]
+        assert futures[2].cancel()
+        assert futures[5].cancel()
+        scheduler.flush()
+        for i, future in enumerate(futures):
+            if i in (2, 5):
+                assert future.cancelled()
+            else:
+                assert future.result(timeout=1.0).label == i
+        assert sum(stub.flush_sizes) == 4  # cancelled requests never ran
+        scheduler.close()
+
+    def test_partition_hook_non_contiguous_permutation(self):
+        """A hook returning a valid but non-contiguous index cover
+        (strided groups) must still map every response to its own
+        request."""
+
+        class StridedStub(StubPredictor):
+            def partition_batch(self, requests, n):
+                return [list(range(k, len(requests), 3)) for k in range(3)]
+
+        stub = StridedStub()
+        scheduler = BatchScheduler(
+            stub, max_batch=9, n_workers=3, start_worker=False
+        )
+        futures = [scheduler.submit(_request(i)) for i in range(9)]
+        assert sorted(stub.flush_sizes) == [3, 3, 3]
+        assert [f.result(timeout=1.0).label for f in futures] == list(range(9))
+        scheduler.close()
+
+    def test_close_under_load_strands_nothing(self):
+        """Regression for the close/flush race: close() used to null
+        the pool while a submitter's max-batch flush was mid-_execute,
+        crashing the flushing thread (AttributeError) and stranding its
+        already-RUNNING futures. Under submit/close contention every
+        accepted future must end resolved or cancelled."""
+        for _ in range(15):
+            stub = StubPredictor()
+            scheduler = BatchScheduler(
+                stub, max_batch=4, n_workers=3, start_worker=False
+            )
+            futures: list = []
+            lock = threading.Lock()
+            errors: list = []
+
+            def client(base: int):
+                try:
+                    for i in range(base, base + 40):
+                        try:
+                            future = scheduler.submit(_request(i))
+                        except RuntimeError:
+                            return  # scheduler closed — the only legal refusal
+                        with lock:
+                            futures.append((i, future))
+                except Exception as error:  # pragma: no cover - the bug
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=client, args=(k * 100,))
+                for k in range(4)
+            ]
+            for t in threads:
+                t.start()
+            scheduler.close()  # races the submitters' max-batch flushes
+            for t in threads:
+                t.join()
+            scheduler.close()  # idempotent after the storm
+            assert not errors
+            for i, future in futures:
+                if not future.cancelled():
+                    assert future.result(timeout=5.0).label == i
+
     def test_real_predictor_pool_matches_single_worker(self, tiny_suite):
         """n_workers > 1 must not change any answer on a real engine."""
         batch = tiny_suite.tasks[1].test_batch

@@ -173,7 +173,7 @@ class TestServingCommands:
         )
         assert code == 0
         out = capsys.readouterr().out
-        assert "worker pool (2 workers, 2 shards)" in out
+        assert "worker pool (2 thread workers, 2 shards)" in out
         assert "per-route requests: task 1: 24" in out
 
     def test_serve_bench_vocab_axis(self, cli_artifacts, capsys):
@@ -194,13 +194,49 @@ class TestServingCommands:
         assert main(["query", "--artifacts", directory, "--task", "1", "--quantized"]) == 0
         assert "quantized weights" in capsys.readouterr().out
 
-    def test_serve_bench_vocab_axis_needs_exact_backend(self, cli_artifacts):
-        with pytest.raises(SystemExit, match="exact"):
+    def test_serve_bench_vocab_axis_rejects_approximate_backend(self, cli_artifacts):
+        with pytest.raises(SystemExit, match="exhaustive"):
             main(
                 [
                     "serve-bench", "--artifacts", cli_artifacts,
-                    "--mips-backend", "threshold",
+                    "--mips-backend", "alsh",
                     "--shards", "2", "--shard-axis", "vocab",
+                ]
+            )
+
+    def test_serve_bench_vocab_axis_threshold(self, cli_artifacts, capsys):
+        code = main(
+            [
+                "serve-bench", "--artifacts", cli_artifacts,
+                "--requests", "16", "--max-batch", "8",
+                "--mips-backend", "threshold",
+                "--workers", "2", "--shards", "2", "--shard-axis", "vocab",
+            ]
+        )
+        assert code == 0
+        assert "worker pool" in capsys.readouterr().out
+
+    def test_serve_bench_process_mode(self, cli_artifacts, capsys):
+        code = main(
+            [
+                "serve-bench", "--artifacts", cli_artifacts,
+                "--requests", "24", "--max-batch", "8",
+                "--workers", "2", "--shards", "2",
+                "--worker-mode", "process",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worker pool (2 process workers, 2 shards)" in out
+        assert "per-route requests: task 1: 24" in out
+
+    def test_serve_bench_process_mode_needs_artifacts(self):
+        with pytest.raises(SystemExit, match="artifacts"):
+            main(
+                [
+                    "serve-bench", "--worker-mode", "process",
+                    "--tasks", "1", "--n-train", "8", "--n-test", "4",
+                    "--epochs", "1",
                 ]
             )
 
