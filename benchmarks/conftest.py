@@ -6,6 +6,7 @@ Benchmarks print the reproduced tables/series to stdout (run with
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -20,6 +21,31 @@ def persist(name: str, text: str) -> None:
     print("\n" + text)
     OUTPUT_DIR.mkdir(exist_ok=True)
     (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def persist_bench_summary(key: str, summary: dict) -> None:
+    """Merge one benchmark's machine-readable summary into
+    ``benchmarks/output/BENCH_serving.json`` under its own top-level
+    key, so several serving benchmarks (sharding ladder, caching
+    ladder, ...) archive into the one file CI uploads without
+    clobbering each other. Pre-existing single-summary files (the
+    legacy flat format with a ``"benchmark"`` name field) are wrapped
+    under their own name on first contact.
+    """
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / "BENCH_serving.json"
+    data: dict = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    if isinstance(data, dict) and isinstance(data.get("benchmark"), str):
+        data = {data["benchmark"]: data}  # migrate the legacy flat layout
+    if not isinstance(data, dict):
+        data = {}
+    data[key] = summary
+    path.write_text(json.dumps(data, indent=2) + "\n")
 
 
 @pytest.fixture(scope="session")

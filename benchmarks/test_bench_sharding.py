@@ -29,11 +29,10 @@ pickling overhead.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 
-from benchmarks.conftest import OUTPUT_DIR, persist
+from benchmarks.conftest import persist, persist_bench_summary
 
 from repro.serving import ModelRouter, QueryRequest
 from repro.utils.tables import TextTable
@@ -175,6 +174,9 @@ def test_bench_shard_worker_scaling(full_suite, full_suite_artifacts):
                     router.stats.mean_shards_per_flush, 2
                 ),
                 "mean_latency_ms": round(router.stats.mean_latency_s * 1e3, 3),
+                "p50_latency_ms": round(router.stats.p50_latency_s * 1e3, 3),
+                "p95_latency_ms": round(router.stats.p95_latency_s * 1e3, 3),
+                "p99_latency_ms": round(router.stats.p99_latency_s * 1e3, 3),
                 "speedup_vs_single_worker": round(speedup, 3),
             }
         )
@@ -221,10 +223,7 @@ def test_bench_shard_worker_scaling(full_suite, full_suite_artifacts):
         "rows": rows,
         "best": best,
     }
-    OUTPUT_DIR.mkdir(exist_ok=True)
-    (OUTPUT_DIR / "BENCH_serving.json").write_text(
-        json.dumps(summary, indent=2) + "\n"
-    )
+    persist_bench_summary("serving_sharding", summary)
 
     persist(
         "sharding",

@@ -71,7 +71,9 @@ _EPILOG = (
     "backends (--shard-axis batch|vocab). --worker-mode process swaps "
     "the GIL-bound thread pool for worker processes rebuilt from "
     "--artifacts with mmap-shared weights (zero-copy; encoded arrays "
-    "on the pipe)."
+    "on the pipe). `--cache-entries N --zipf S` adds a per-route "
+    "story-encoding cache and a zipf-skewed replay mix to measure "
+    "hit-rate vs throughput."
 )
 
 
@@ -243,6 +245,7 @@ def _cmd_query(args: argparse.Namespace) -> None:
             device=args.device,
             mips_backend=args.mips_backend,
             quantized=args.quantized,
+            cache_entries=args.cache_entries or None,
             **({"rho": args.rho} if args.mips_backend == "threshold" else {}),
         )
     except ValueError as error:  # e.g. --quantized without a snapshot
@@ -257,31 +260,50 @@ def _cmd_query(args: argparse.Namespace) -> None:
         + (", quantized weights)" if args.quantized else ")"),
     )
     correct = 0
-    for i in indices:
-        if not 0 <= i < len(batch):
-            raise SystemExit(f"example index {i} outside [0, {len(batch)})")
-        response = predictor.predict(
-            QueryRequest(
-                batch.stories[i],
-                batch.questions[i],
-                n_sentences=int(batch.story_lengths[i]),
-                request_id=i,
+    # The predictor (and its story cache, with --cache-entries) is
+    # built once and reused across repeats — repeats 2..N replay the
+    # same stories, so every memory write after the first pass is a
+    # cache hit.
+    for repeat in range(args.repeat):
+        start = time.perf_counter()
+        for i in indices:
+            if not 0 <= i < len(batch):
+                raise SystemExit(f"example index {i} outside [0, {len(batch)})")
+            response = predictor.predict(
+                QueryRequest(
+                    batch.stories[i],
+                    batch.questions[i],
+                    n_sentences=int(batch.story_lengths[i]),
+                    request_id=i,
+                )
             )
+            if repeat:  # the table shows each example once
+                continue
+            truth = suite.vocab.word(int(batch.answers[i]))
+            correct += int(response.label == int(batch.answers[i]))
+            table.add_row(
+                [
+                    str(i),
+                    response.answer or str(response.label),
+                    truth,
+                    "yes" if response.label == int(batch.answers[i]) else "NO",
+                    str(response.comparisons),
+                    "yes" if response.early_exit else "no",
+                ]
+            )
+        seconds = time.perf_counter() - start
+        if repeat == 0:
+            print(table.render())
+            print(f"{correct}/{len(indices)} correct")
+        if args.repeat > 1:
+            print(f"repeat {repeat + 1}/{args.repeat}: {seconds * 1e3:.2f} ms")
+    cache = getattr(predictor, "cache", None)
+    if cache is not None:
+        stats = cache.stats
+        print(
+            f"story cache: {stats.hits} hits / {stats.misses} misses "
+            f"(hit rate {stats.hit_rate:.1%}, {cache.entries} entries resident)"
         )
-        truth = suite.vocab.word(int(batch.answers[i]))
-        correct += int(response.label == int(batch.answers[i]))
-        table.add_row(
-            [
-                str(i),
-                response.answer or str(response.label),
-                truth,
-                "yes" if response.label == int(batch.answers[i]) else "NO",
-                str(response.comparisons),
-                "yes" if response.early_exit else "no",
-            ]
-        )
-    print(table.render())
-    print(f"{correct}/{len(indices)} correct")
 
 
 def _mixed_task_requests(suite: BabiSuite, n: int) -> list:
@@ -298,6 +320,46 @@ def _mixed_task_requests(suite: BabiSuite, n: int) -> list:
             QueryRequest(
                 batch.stories[j],
                 batch.questions[j],
+                n_sentences=int(batch.story_lengths[j]),
+                request_id=i,
+                task=task,
+            )
+        )
+    return requests
+
+
+def _zipf_requests(suite: BabiSuite, n: int, s: float, seed: int = 0) -> list:
+    """A zipf(s)-skewed request stream: story popularity follows a
+    power law over the suite's whole test pool (the realistic
+    "millions of users replay hot stories" shape), while each request
+    pairs the story with an independently drawn question from the same
+    task — same story, different question, the case the story cache
+    exists for. ``s=0`` degenerates to a uniform mix.
+    """
+    import numpy as np
+
+    from repro.serving import QueryRequest
+
+    pool = [
+        (task, j)
+        for task in suite.task_ids
+        for j in range(len(suite.tasks[task].test_batch))
+    ]
+    rng = np.random.default_rng(seed)
+    rng.shuffle(pool)  # decorrelate popularity rank from task order
+    ranks = np.arange(1, len(pool) + 1, dtype=np.float64)
+    weights = ranks**-s
+    weights /= weights.sum()
+    choices = rng.choice(len(pool), size=n, p=weights)
+    requests = []
+    for i, choice in enumerate(choices):
+        task, j = pool[choice]
+        batch = suite.tasks[task].test_batch
+        q = int(rng.integers(len(batch)))
+        requests.append(
+            QueryRequest(
+                batch.stories[j],
+                batch.questions[q],
                 n_sentences=int(batch.story_lengths[j]),
                 request_id=i,
                 task=task,
@@ -333,11 +395,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> None:
             "directory (train one with `train --save DIR`)"
         )
     suite = _obtain_suite(args)
-    requests = _mixed_task_requests(suite, args.requests)
+    if args.zipf is not None:
+        requests = _zipf_requests(suite, args.requests, args.zipf)
+    else:
+        requests = _mixed_task_requests(suite, args.requests)
     open_kwargs = dict(
         mips_backend=args.mips_backend,
         max_batch=args.max_batch,
         max_wait_s=args.max_wait_ms / 1e3,
+        cache_entries=args.cache_entries or None,
     )
 
     direct = ModelRouter.open(suite, start_worker=False, **open_kwargs)
@@ -372,32 +438,60 @@ def _cmd_serve_bench(args: argparse.Namespace) -> None:
         args.workers, args.shards, args.worker_mode
     )
 
+    mix = f"zipf(s={args.zipf})" if args.zipf is not None else "round-robin"
     table = TextTable(
-        ["submission", "requests/s", "mean batch", "mean latency (ms)"],
+        [
+            "submission",
+            "requests/s",
+            "mean batch",
+            "p50 (ms)",
+            "p95 (ms)",
+            "p99 (ms)",
+        ],
         title=(
             f"Serving throughput — {len(suite.task_ids)} task routes, "
-            f"{args.requests} requests, {args.mips_backend} backend"
+            f"{args.requests} requests ({mix}), {args.mips_backend} backend"
+            + (
+                f", cache {args.cache_entries} entries"
+                if args.cache_entries
+                else ""
+            )
         ),
     )
     table.add_row(
-        ["one-at-a-time", f"{args.requests / one_at_a_time:.0f}", "1.0", "-"]
-    )
-    table.add_row(
         [
-            f"scheduler (1 worker, max_batch={args.max_batch})",
-            f"{args.requests / single_seconds:.0f}",
-            f"{single.stats.mean_batch_size:.1f}",
-            f"{single.stats.mean_latency_s * 1e3:.2f}",
+            "one-at-a-time",
+            f"{args.requests / one_at_a_time:.0f}",
+            "1.0",
+            "-",
+            "-",
+            "-",
         ]
     )
-    table.add_row(
-        [
-            f"worker pool ({args.workers} {args.worker_mode} workers, "
-            f"{args.shards} shards)",
-            f"{args.requests / pooled_seconds:.0f}",
-            f"{pooled.stats.mean_batch_size:.1f}",
-            f"{pooled.stats.mean_latency_s * 1e3:.2f}",
-        ]
+
+    def _scheduler_row(label: str, seconds: float, router) -> None:
+        stats = router.stats
+        table.add_row(
+            [
+                label,
+                f"{args.requests / seconds:.0f}",
+                f"{stats.mean_batch_size:.1f}",
+                f"{stats.p50_latency_s * 1e3:.2f}",
+                f"{stats.p95_latency_s * 1e3:.2f}",
+                f"{stats.p99_latency_s * 1e3:.2f}",
+            ]
+        )
+
+    _scheduler_row(
+        f"scheduler (1 worker, max_batch={args.max_batch})",
+        single_seconds,
+        single,
+    )
+    _scheduler_row(
+        f"worker pool ({args.workers} {args.worker_mode} workers, "
+        f"{args.shards} shards)",
+        pooled_seconds,
+        pooled,
     )
     print(table.render())
     print(f"micro-batching speedup: {one_at_a_time / single_seconds:.1f}x")
@@ -406,6 +500,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> None:
         f"{single_seconds / pooled_seconds:.2f}x "
         f"(mean sub-batches/flush {pooled.stats.mean_shards_per_flush:.1f})"
     )
+    if args.cache_entries:
+        for label, router in (("1 worker", single), ("pool", pooled)):
+            stats = router.stats
+            print(
+                f"story cache [{label}]: hit rate "
+                f"{stats.cache_hit_rate:.1%} ({stats.cache_hits} hits / "
+                f"{stats.cache_misses} misses, "
+                f"{stats.cache_evictions} evictions)"
+            )
     per_route = ", ".join(
         f"task {task}: {stats.requests}"
         for task, stats in sorted(pooled.route_stats.items())
@@ -569,6 +672,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve the artifacts' fixed-point weight snapshot "
         "(written by `train --quantize M N`)",
     )
+    query.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="answer the query set this many times through one "
+        "predictor (with --cache-entries, repeats hit the story cache)",
+    )
+    query.add_argument(
+        "--cache-entries",
+        type=int,
+        default=0,
+        help="enable the cross-request story-encoding cache with this "
+        "many LRU entries (0 disables; sw device only)",
+    )
     query.set_defaults(handler=_cmd_query)
 
     bench = subparsers.add_parser(
@@ -611,6 +728,23 @@ def build_parser() -> argparse.ArgumentParser:
         "but CPU-bound scans serialise); 'process' rebuilds each route "
         "in worker processes from --artifacts with mmap-shared weights "
         "(requires --artifacts; default: thread)",
+    )
+    bench.add_argument(
+        "--cache-entries",
+        type=int,
+        default=0,
+        help="per-route story-encoding cache size in LRU entries "
+        "(0 disables; replayed stories skip the memory-write phase)",
+    )
+    bench.add_argument(
+        "--zipf",
+        type=float,
+        default=None,
+        metavar="S",
+        help="draw the request mix with zipf(S)-skewed story "
+        "popularity (same story, different question) instead of "
+        "round-robin — the shape that exercises --cache-entries; "
+        "S=0 is uniform",
     )
     bench.set_defaults(handler=_cmd_serve_bench)
 

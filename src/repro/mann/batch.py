@@ -116,6 +116,7 @@ class BatchInferenceEngine:
         mips_backend: str | MipsBackend | None = None,
         *,
         threshold_model=None,
+        memory_cache=None,
         **backend_params,
     ):
         self.weights = weights
@@ -123,6 +124,13 @@ class BatchInferenceEngine:
         self.mips = self._resolve_backend(
             mips_backend, threshold_model, backend_params
         )
+        #: Optional cross-request story-encoding cache
+        #: (:class:`repro.serving.cache.MemoryCache`, duck-typed so the
+        #: model layer does not depend on the serving layer): when set,
+        #: the write phase (Eqs. 1-2) is served from the cache for
+        #: replayed stories and identical stories within one batch are
+        #: encoded once.
+        self.memory_cache = memory_cache
         # Weights are a frozen snapshot, so the pad-zeroed gather
         # matrices are prepared once: columns [:E] of ``_w_emb_ac`` are
         # the address embedding, [E:] the content embedding.
@@ -194,6 +202,75 @@ class BatchInferenceEngine:
         mem_c = (bow[..., embed:] + w.t_c[:slots]) * m
         return mem_a, mem_c, slot_mask
 
+    def write_memory_cached(
+        self, stories: np.ndarray, lengths: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Memory write (Eqs. 1-2) through :attr:`memory_cache`.
+
+        Bit-identical to :meth:`write_memory` by construction: every
+        write-phase operation is row-wise per ``(example, slot)``, so
+        computing only the batch's cache misses — one representative
+        per distinct story (within-flush dedupe) — and scattering the
+        rows back yields exactly the arrays a full recompute would.
+        Cached rows are trimmed to the story's real length; the rows at
+        and beyond it are exactly zero either way. Falls back to the
+        plain path when no cache is configured.
+        """
+        cache = self.memory_cache
+        if cache is None:
+            return self.write_memory(stories, lengths)
+        batch, slots, _ = stories.shape
+        embed = self.config.embed_dim
+        dtype = np.result_type(self._w_emb_ac, self.weights.t_a)
+        mem_a = np.zeros((batch, slots, embed), dtype=dtype)
+        mem_c = np.zeros((batch, slots, embed), dtype=dtype)
+        slot_mask = np.arange(slots)[None, :] < lengths[:, None]
+        #: key -> story groups sharing that hash, each group the rows of
+        #: one *verified-equal* story, so duplicates inside one flush
+        #: encode once and fan out (within-flush dedupe). Same guard as
+        #: the cache itself: hash equality never substitutes for array
+        #: equality, so colliding stories land in separate groups.
+        pending: dict[bytes, list[list[int]]] = {}
+        groups: list[tuple[bytes, list[int]]] = []
+        for i in range(batch):
+            trimmed = stories[i, : lengths[i]]
+            key = cache.key(trimmed)
+            deduped = False
+            for rows in pending.get(key, ()):
+                rep = rows[0]
+                if lengths[rep] == lengths[i] and np.array_equal(
+                    stories[rep, : lengths[rep]], trimmed
+                ):
+                    rows.append(i)  # duplicate within this flush
+                    cache.note_dedupe()
+                    deduped = True
+                    break
+            if deduped:
+                continue
+            hit = cache.get(key, trimmed)
+            if hit is not None:
+                rows_a, rows_c = hit
+                mem_a[i, : rows_a.shape[0]] = rows_a
+                mem_c[i, : rows_c.shape[0]] = rows_c
+            else:
+                rows = [i]
+                pending.setdefault(key, []).append(rows)
+                groups.append((key, rows))
+        if groups:
+            reps = np.array([rows[0] for _, rows in groups])
+            # Row-wise ops make the subset compute bit-identical to the
+            # same rows of a whole-batch write_memory call.
+            miss_a, miss_c, _ = self.write_memory(stories[reps], lengths[reps])
+            for j, (key, rows) in enumerate(groups):
+                n = lengths[rows[0]]
+                rows_a = np.ascontiguousarray(miss_a[j, :n])
+                rows_c = np.ascontiguousarray(miss_c[j, :n])
+                cache.put(key, stories[rows[0], :n], rows_a, rows_c)
+                for i in rows:
+                    mem_a[i, :n] = rows_a
+                    mem_c[i, :n] = rows_c
+        return mem_a, mem_c, slot_mask
+
     # -- read path -----------------------------------------------------
     @staticmethod
     def attention(
@@ -251,7 +328,7 @@ class BatchInferenceEngine:
             )
         lengths = self._resolve_lengths(stories, lengths)
 
-        mem_a, mem_c, slot_mask = self.write_memory(stories, lengths)
+        mem_a, mem_c, slot_mask = self.write_memory_cached(stories, lengths)
         trace = (
             BatchTrace(mem_a=mem_a, mem_c=mem_c, slot_mask=slot_mask)
             if record

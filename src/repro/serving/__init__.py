@@ -31,6 +31,10 @@ The deployment story of the repro in three calls::
 
       with ModelRouter.open("artifacts/", n_workers=4, shards=4) as r:
           answer = r.submit(QueryRequest(story, question, task=6)).result()
+* :class:`MemoryCache` — the cross-request story-encoding cache
+  (``cache_entries=`` on :func:`open_predictor` / ``ModelRouter.open``):
+  replayed stories skip the memory-write phase (Eqs. 1–2)
+  bit-identically, with hit rates surfaced in :class:`ServingStats`.
 """
 
 from repro.serving.api import (
@@ -39,6 +43,7 @@ from repro.serving.api import (
     QueryResponse,
     ServingStats,
 )
+from repro.serving.cache import CacheStats, MemoryCache
 from repro.serving.predictor import (
     DEVICES,
     HardwarePredictor,
@@ -51,10 +56,12 @@ from repro.serving.worker import WorkerSpec
 
 __all__ = [
     "BatchScheduler",
+    "CacheStats",
     "WORKER_MODES",
     "WorkerSpec",
     "DEVICES",
     "HardwarePredictor",
+    "MemoryCache",
     "ModelRouter",
     "Predictor",
     "QueryRequest",

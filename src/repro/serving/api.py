@@ -11,6 +11,7 @@ individually submitted requests with
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Protocol, Sequence, runtime_checkable
 
@@ -103,45 +104,168 @@ class Predictor(Protocol):
     ) -> list[QueryResponse]: ...
 
 
+class _Reservoir:
+    """Bounded uniform sample with exact count / sum / max.
+
+    Soak loads push millions of values through the stats; an unbounded
+    list is a slow memory leak. Algorithm-R reservoir sampling keeps a
+    fixed-size uniform sample for percentile estimates while the count,
+    sum and maximum stay exact (so ``mean``/``max`` never degrade).
+    The replacement RNG is seeded deterministically — statistics of a
+    fixed request stream are reproducible run to run.
+    """
+
+    __slots__ = ("capacity", "count", "total", "maximum", "_sample", "_rng")
+
+    def __init__(self, capacity: int, seed: int = 0x5EED):
+        self.capacity = int(capacity)
+        self.count = 0
+        self.total = 0.0
+        self.maximum = 0.0
+        self._sample: list[float] = []
+        self._rng = random.Random(seed)
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.maximum:
+            self.maximum = value
+        if len(self._sample) < self.capacity:
+            self._sample.append(value)
+        else:
+            j = self._rng.randrange(self.count)
+            if j < self.capacity:
+                self._sample[j] = value
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def sample(self) -> list[float]:
+        return list(self._sample)
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile — exact while ``count <= capacity``,
+        estimated from the uniform sample beyond it."""
+        if not self._sample:
+            return 0.0
+        return float(np.percentile(self._sample, q))
+
+
 @dataclass
 class ServingStats:
     """Counters a predictor or scheduler accumulates while serving.
 
-    ``batch_sizes`` records one entry per flush (the micro-batching
-    win to watch), ``latencies_s`` one entry per request, and
-    ``shards_per_flush`` how many concurrent sub-batches the worker
-    pool dispatched for each flush (always 1 on the single-worker
-    inline path).
+    ``batch_sizes`` is one entry per flush (the micro-batching win to
+    watch), ``latencies_s`` one per request, ``shards_per_flush`` how
+    many concurrent sub-batches the worker pool dispatched per flush
+    (always 1 on the single-worker inline path) — each a bounded
+    reservoir sample (:data:`RESERVOIR_CAPACITY`) whose count, mean and
+    max stay exact however long the router runs; percentiles
+    (``p50_latency_s``/``p95_latency_s``/``p99_latency_s``) come from
+    the sample.
+
+    ``cache_hits``/``cache_misses``/``cache_evictions`` mirror the
+    story-encoding :class:`~repro.serving.cache.MemoryCache` counters
+    of the serving predictor (synced at every flush; all worker
+    processes included), with ``cache_hit_rate`` derived.
     """
+
+    RESERVOIR_CAPACITY = 4096
 
     requests: int = 0
     flushes: int = 0
-    batch_sizes: list[int] = field(default_factory=list)
-    latencies_s: list[float] = field(default_factory=list)
-    shards_per_flush: list[int] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    _batch_sizes: _Reservoir = field(
+        default_factory=lambda: _Reservoir(ServingStats.RESERVOIR_CAPACITY),
+        repr=False,
+    )
+    _latencies: _Reservoir = field(
+        default_factory=lambda: _Reservoir(ServingStats.RESERVOIR_CAPACITY),
+        repr=False,
+    )
+    _shards: _Reservoir = field(
+        default_factory=lambda: _Reservoir(ServingStats.RESERVOIR_CAPACITY),
+        repr=False,
+    )
 
     def record_flush(self, batch_size: int, n_shards: int = 1) -> None:
         self.flushes += 1
         self.requests += batch_size
-        self.batch_sizes.append(batch_size)
-        self.shards_per_flush.append(n_shards)
+        self._batch_sizes.add(batch_size)
+        self._shards.add(n_shards)
+
+    def record_latencies(self, latencies_s) -> None:
+        self._latencies.extend(latencies_s)
+
+    def set_cache_counters(
+        self, hits: int, misses: int, evictions: int
+    ) -> None:
+        """Overwrite the cache mirror with a cumulative snapshot (the
+        scheduler syncs the predictor's cache after each flush)."""
+        self.cache_hits = int(hits)
+        self.cache_misses = int(misses)
+        self.cache_evictions = int(evictions)
+
+    # -- sampled series (bounded views; exact below capacity) ----------
+    @property
+    def batch_sizes(self) -> list[float]:
+        return self._batch_sizes.sample
 
     @property
+    def latencies_s(self) -> list[float]:
+        return self._latencies.sample
+
+    @property
+    def shards_per_flush(self) -> list[float]:
+        return self._shards.sample
+
+    @property
+    def latency_count(self) -> int:
+        """Exact number of latencies recorded (>= len(latencies_s))."""
+        return self._latencies.count
+
+    # -- derived -------------------------------------------------------
+    @property
     def mean_batch_size(self) -> float:
-        return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+        return self._batch_sizes.mean
 
     @property
     def mean_latency_s(self) -> float:
-        return float(np.mean(self.latencies_s)) if self.latencies_s else 0.0
+        return self._latencies.mean
 
     @property
     def max_latency_s(self) -> float:
-        return float(np.max(self.latencies_s)) if self.latencies_s else 0.0
+        return self._latencies.maximum if self._latencies.count else 0.0
+
+    @property
+    def p50_latency_s(self) -> float:
+        return self._latencies.percentile(50.0)
+
+    @property
+    def p95_latency_s(self) -> float:
+        return self._latencies.percentile(95.0)
+
+    @property
+    def p99_latency_s(self) -> float:
+        return self._latencies.percentile(99.0)
 
     @property
     def mean_shards_per_flush(self) -> float:
-        return (
-            float(np.mean(self.shards_per_flush))
-            if self.shards_per_flush
-            else 0.0
-        )
+        return self._shards.mean
+
+    @property
+    def cache_lookups(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_lookups
+        return self.cache_hits / lookups if lookups else 0.0

@@ -34,6 +34,7 @@ from repro.hw.accelerator import MannAccelerator
 from repro.hw.config import HwConfig
 from repro.mann.batch import BatchInferenceEngine, infer_story_lengths
 from repro.serving.api import QueryRequest, QueryResponse
+from repro.serving.cache import MemoryCache
 from repro.serving.worker import WorkerSpec
 
 DEVICES = ("sw", "hw")
@@ -110,6 +111,8 @@ class SoftwarePredictor:
         #: Picklable rebuild recipe when opened from an artifact
         #: directory; process-mode scheduling requires it.
         self.spec = spec
+        #: The engine's story-encoding cache (None when caching is off).
+        self.cache = engine.memory_cache
 
     def predict(self, request: QueryRequest) -> QueryResponse:
         return self.predict_batch([request])[0]
@@ -181,6 +184,19 @@ class SoftwarePredictor:
     ) -> list[QueryResponse]:
         """Decode a worker's stacked arrays (parent-side)."""
         return self._responses(requests, labels, logits, comparisons, early_exits)
+
+    # -- story-encoding cache hooks ------------------------------------
+    def cache_counters(self) -> tuple[int, int, int] | None:
+        """Cumulative cache ``(hits, misses, evictions)``, or None when
+        caching is off — the scheduler mirrors this into its stats."""
+        return self.cache.counters() if self.cache is not None else None
+
+    def absorb_worker_cache(self, requests, delta) -> None:
+        """Fold a worker process's per-call cache-counter delta into the
+        parent-side cache statistics (the worker's table itself stays in
+        its own process; only the accounting crosses the pipe)."""
+        if self.cache is not None and delta is not None:
+            self.cache.absorb_delta(delta)
 
 
 class HardwarePredictor:
@@ -285,6 +301,8 @@ def open_predictor(
     shards: int | None = None,
     shard_axis: str = "batch",
     quantized: bool = False,
+    cache_entries: int | None = None,
+    cache_bytes: int | None = None,
     spec_source=None,
     **params,
 ):
@@ -307,6 +325,12 @@ def open_predictor(
     module via ``hw_config`` (only ``rho``/``index_ordering`` tune it;
     sharding is a software MIPS-layer construct and is rejected).
 
+    ``cache_entries`` enables the cross-request story-encoding cache
+    (:class:`~repro.serving.cache.MemoryCache`): replayed stories skip
+    the memory-write phase (Eqs. 1–2) bit-identically. It bounds the
+    LRU in entries; ``cache_bytes`` optionally bounds resident payload
+    bytes. Software device only.
+
     Predictors opened from an artifact directory additionally carry a
     :class:`~repro.serving.worker.WorkerSpec` so
     ``BatchScheduler(worker_mode="process")`` can rebuild them inside
@@ -316,6 +340,11 @@ def open_predictor(
     """
     if device not in DEVICES:
         raise ValueError(f"unknown device {device!r}; expected one of {DEVICES}")
+    if device != "sw" and cache_entries is not None:
+        raise ValueError(
+            "cache_entries= memoises the software engine's memory-write "
+            "phase; device='hw' simulates every write cycle-by-cycle"
+        )
     if spec_source is None and isinstance(artifacts, (str, Path)):
         spec_source = artifacts
     # Capture the rebuild recipe before the shards shorthand rewrites
@@ -325,6 +354,8 @@ def open_predictor(
         shards=shards,
         shard_axis=shard_axis,
         quantized=bool(quantized),
+        cache_entries=cache_entries,
+        cache_bytes=cache_bytes,
         params=tuple(sorted(params.items())),
     )
     system, vocab = _resolve_system(artifacts, task_id)
@@ -345,10 +376,18 @@ def open_predictor(
             params.update(n_shards=shards, shard_axis=shard_axis)
         from repro.mann.batch import BatchInferenceEngine
 
+        memory_cache = (
+            MemoryCache(
+                capacity_entries=cache_entries, capacity_bytes=cache_bytes
+            )
+            if cache_entries is not None
+            else None
+        )
         engine = BatchInferenceEngine(
             weights,
             mips_backend,
             threshold_model=system.threshold_model,
+            memory_cache=memory_cache,
             **params,
         )
         spec = (

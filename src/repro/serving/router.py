@@ -61,9 +61,42 @@ class _RoutingPredictor:
             )
             with self._stats_lock:
                 self._route_stats[task].record_flush(len(indices))
+                self._sync_route_cache(task)
             for i, response in zip(indices, answered):
                 responses[i] = response
         return responses
+
+    def _sync_route_cache(self, task) -> None:
+        """Mirror one route's story-cache counters into its per-route
+        stats (caller holds ``_stats_lock``; no-op without a cache)."""
+        hook = getattr(self._routes[task], "cache_counters", None)
+        counters = hook() if hook is not None else None
+        if counters is not None:
+            self._route_stats[task].set_cache_counters(*counters)
+
+    def cache_counters(self) -> tuple[int, int, int] | None:
+        """Cumulative ``(hits, misses, evictions)`` over every route's
+        story cache, or None when no route caches — the scheduler's
+        ``ServingStats`` mirror aggregates all routes."""
+        totals = None
+        for predictor in self._routes.values():
+            hook = getattr(predictor, "cache_counters", None)
+            counters = hook() if hook is not None else None
+            if counters is None:
+                continue
+            if totals is None:
+                totals = [0, 0, 0]
+            for k in range(3):
+                totals[k] += counters[k]
+        return tuple(totals) if totals is not None else None
+
+    def absorb_worker_cache(self, requests, delta) -> None:
+        """Fold a worker's cache-counter delta into the sub-batch's
+        (single) route — process-mode parent-side accounting."""
+        task = self._single_route(requests)
+        absorb = getattr(self._routes[task], "absorb_worker_cache", None)
+        if absorb is not None:
+            absorb(requests, delta)
 
     # -- process-worker hooks (see repro.serving.worker) ---------------
     def worker_specs(self):
@@ -104,6 +137,7 @@ class _RoutingPredictor:
         )
         with self._stats_lock:
             self._route_stats[task].record_flush(len(requests))
+            self._sync_route_cache(task)
         return responses
 
     def partition_batch(
@@ -184,6 +218,8 @@ class ModelRouter:
         shards: int | None = None,
         shard_axis: str = "batch",
         quantized: bool = False,
+        cache_entries: int | None = None,
+        cache_bytes: int | None = None,
         max_batch: int = 32,
         max_wait_s: float = 0.005,
         n_workers: int = 1,
@@ -198,7 +234,10 @@ class ModelRouter:
         ``tasks`` restricts the routes (default: every task present).
         The remaining keywords go to ``open_predictor`` per route —
         including the shard-parallel MIPS knobs ``shards``/
-        ``shard_axis`` and ``quantized`` serving.
+        ``shard_axis``, ``quantized`` serving, and the story-encoding
+        cache bounds ``cache_entries``/``cache_bytes`` (one
+        :class:`~repro.serving.cache.MemoryCache` **per route** — keys
+        never collide across vocabularies/models).
         ``worker_mode="process"`` requires ``artifacts`` to be a
         directory path: the worker processes rebuild each route from it
         (mmap-shared weights; see :mod:`repro.serving.worker`).
@@ -239,6 +278,8 @@ class ModelRouter:
                 shards=shards,
                 shard_axis=shard_axis,
                 quantized=quantized,
+                cache_entries=cache_entries,
+                cache_bytes=cache_bytes,
                 spec_source=spec_source,
                 **params,
             )

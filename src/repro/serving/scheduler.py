@@ -302,6 +302,7 @@ class BatchScheduler:
                 self._run_chunk(batch)
             with self._stats_lock:
                 self.stats.record_flush(len(batch), n_shards=1)
+            self._sync_cache_stats()
             return
         try:
             try:
@@ -319,8 +320,21 @@ class BatchScheduler:
                 self._execute_threads(pool, chunks)
             with self._stats_lock:
                 self.stats.record_flush(len(batch), n_shards=len(chunks))
+            self._sync_cache_stats()
         finally:
             self._release_pool()
+
+    def _sync_cache_stats(self) -> None:
+        """Mirror the predictor's cumulative story-cache counters into
+        ``stats`` (no-op for predictors without the hook / a cache)."""
+        counters_hook = getattr(self.predictor, "cache_counters", None)
+        if counters_hook is None:
+            return
+        counters = counters_hook()
+        if counters is None:
+            return
+        with self._stats_lock:
+            self.stats.set_cache_counters(*counters)
 
     def _execute_threads(self, pool, chunks: list[list[_Pending]]) -> None:
         submitted = []
@@ -363,7 +377,9 @@ class BatchScheduler:
             if job is None:
                 continue
             try:
-                labels, logits, comparisons, early_exits = job.result()
+                labels, logits, comparisons, early_exits, cache_delta = (
+                    job.result()
+                )
                 responses = self.predictor.worker_decode(
                     [p.request for p in chunk],
                     labels,
@@ -375,10 +391,14 @@ class BatchScheduler:
                 for pending in chunk:
                     pending.future.set_exception(error)
                 continue
+            if cache_delta is not None:
+                absorb = getattr(self.predictor, "absorb_worker_cache", None)
+                if absorb is not None:
+                    absorb([p.request for p in chunk], cache_delta)
             done = time.perf_counter()
             latencies = [done - pending.submitted_at for pending in chunk]
             with self._stats_lock:
-                self.stats.latencies_s.extend(latencies)
+                self.stats.record_latencies(latencies)
             for pending, response, latency in zip(chunk, responses, latencies):
                 pending.future.set_result(replace(response, latency_s=latency))
 
@@ -395,6 +415,6 @@ class BatchScheduler:
         done = time.perf_counter()
         latencies = [done - pending.submitted_at for pending in chunk]
         with self._stats_lock:
-            self.stats.latencies_s.extend(latencies)
+            self.stats.record_latencies(latencies)
         for pending, response, latency in zip(chunk, responses, latencies):
             pending.future.set_result(replace(response, latency_s=latency))

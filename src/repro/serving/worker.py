@@ -58,6 +58,8 @@ class WorkerSpec:
     shards: int | None = None
     shard_axis: str = "batch"
     quantized: bool = False
+    cache_entries: int | None = None
+    cache_bytes: int | None = None
     params: tuple = field(default_factory=tuple)
 
 
@@ -83,6 +85,8 @@ def worker_predictor(spec: WorkerSpec):
             shards=spec.shards,
             shard_axis=spec.shard_axis,
             quantized=spec.quantized,
+            cache_entries=spec.cache_entries,
+            cache_bytes=spec.cache_bytes,
             **dict(spec.params),
         )
         _PREDICTORS[spec] = predictor
@@ -105,12 +109,24 @@ def predict_encoded(
     """Answer one encoded sub-batch; returns stacked result arrays.
 
     This is the only function the parent submits to the pool — arrays
-    in, arrays out, no response objects or predictors on the pipe.
+    in, arrays out, no response objects or predictors on the pipe. The
+    fifth element is this call's story-cache counter delta
+    ``(hits, misses, evictions)`` when the spec enables caching (each
+    worker keeps its own :class:`~repro.serving.cache.MemoryCache`;
+    only the accounting travels back), else None.
     """
-    result = worker_predictor(spec).engine.search(stories, questions, lengths)
+    predictor = worker_predictor(spec)
+    cache = predictor.cache
+    before = cache.counters() if cache is not None else None
+    result = predictor.engine.search(stories, questions, lengths)
+    delta = None
+    if cache is not None:
+        after = cache.counters()
+        delta = tuple(b - a for a, b in zip(before, after))
     return (
         np.asarray(result.labels),
         np.asarray(result.logits),
         np.asarray(result.comparisons),
         np.asarray(result.early_exits),
+        delta,
     )
