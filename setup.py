@@ -1,4 +1,21 @@
 """Setup shim so editable installs work without the `wheel` package."""
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    install_requires=["numpy"],
+    extras_require={
+        # The async front-end tests drive AsyncFrontend through plain
+        # asyncio.run() so the core suite needs no plugin; pytest-asyncio
+        # is declared for environments that want native `async def` tests
+        # against the same surface.
+        "test": [
+            "pytest",
+            "pytest-benchmark",
+            "hypothesis",
+            "pytest-asyncio",
+        ],
+    },
+)

@@ -35,15 +35,34 @@ The deployment story of the repro in three calls::
   (``cache_entries=`` on :func:`open_predictor` / ``ModelRouter.open``):
   replayed stories skip the memory-write phase (Eqs. 1–2)
   bit-identically, with hit rates surfaced in :class:`ServingStats`.
+* :class:`AsyncFrontend` — the asyncio front door: awaitable queries
+  with per-request SLO deadlines (``deadline_s``), admission control
+  over a bounded queue (``queue_cap`` + ``overload_policy`` —
+  :data:`OVERLOAD_POLICIES`), typed :class:`OverloadError` /
+  :class:`DeadlineExceededError`, and a deadline thread that flushes
+  early when the predicted flush cost (:class:`FlushCostModel`, fed by
+  live :class:`ServingStats` and the cache hit rate) would eat a
+  request's remaining slack::
+
+      async with AsyncFrontend.open("artifacts/", queue_cap=256,
+                                    overload_policy="shed") as frontend:
+          response = await frontend.query(request, deadline_s=0.05)
+
+All serving timestamps come from one :class:`Clock`
+(:data:`MONOTONIC`); tests swap in a :class:`ManualClock`.
 """
 
 from repro.serving.api import (
+    DeadlineExceededError,
+    OverloadError,
     Predictor,
     QueryRequest,
     QueryResponse,
     ServingStats,
 )
 from repro.serving.cache import CacheStats, MemoryCache
+from repro.serving.clock import MONOTONIC, Clock, ManualClock
+from repro.serving.frontend import AsyncFrontend
 from repro.serving.predictor import (
     DEVICES,
     HardwarePredictor,
@@ -51,12 +70,25 @@ from repro.serving.predictor import (
     open_predictor,
 )
 from repro.serving.router import ModelRouter
-from repro.serving.scheduler import WORKER_MODES, BatchScheduler
+from repro.serving.scheduler import (
+    OVERLOAD_POLICIES,
+    WORKER_MODES,
+    BatchScheduler,
+    FlushCostModel,
+)
 from repro.serving.worker import WorkerSpec
 
 __all__ = [
+    "AsyncFrontend",
     "BatchScheduler",
     "CacheStats",
+    "Clock",
+    "DeadlineExceededError",
+    "FlushCostModel",
+    "ManualClock",
+    "MONOTONIC",
+    "OVERLOAD_POLICIES",
+    "OverloadError",
     "WORKER_MODES",
     "WorkerSpec",
     "DEVICES",

@@ -18,6 +18,29 @@ from typing import Protocol, Sequence, runtime_checkable
 import numpy as np
 
 
+class OverloadError(RuntimeError):
+    """The bounded pending queue is full and the admission policy sheds.
+
+    Raised *at submission* by :meth:`BatchScheduler.submit` /
+    ``submit_nowait`` when ``queue_cap`` is reached under
+    ``overload_policy="shed"`` (or ``"shed-expired"`` with no expired
+    entry to evict, or a non-blocking submit under ``"block"``). The
+    request was never enqueued — nothing to await, nothing stranded.
+    """
+
+
+class DeadlineExceededError(TimeoutError):
+    """A request's deadline passed before its flush executed.
+
+    Under ``overload_policy="shed-expired"`` the scheduler drops queued
+    requests whose ``deadline_s`` budget is already spent instead of
+    wasting a flush slot on an answer nobody can use in time; their
+    futures resolve with this exception (subclass of
+    :class:`TimeoutError`, so generic timeout handling catches it).
+    Every admitted request resolves — with a response or with this.
+    """
+
+
 @dataclass(frozen=True)
 class QueryRequest:
     """One QA query: an encoded story matrix and question vector.
@@ -31,6 +54,13 @@ class QueryRequest:
     ``task`` names the model that should answer — the route key of a
     :class:`~repro.serving.ModelRouter` (a bAbI task id); single-model
     predictors ignore it, and a single-route router accepts ``None``.
+    ``deadline_s`` is the request's SLO budget in seconds *relative to
+    submission*: the scheduler's deadline thread flushes early when the
+    oldest pending budget is about to be consumed, completion within
+    the budget counts toward :attr:`ServingStats.goodput_rate`, and
+    under ``overload_policy="shed-expired"`` a request whose budget ran
+    out before its flush resolves with :class:`DeadlineExceededError`.
+    ``None`` (the default) means no deadline — pure throughput serving.
     """
 
     story: np.ndarray
@@ -38,6 +68,7 @@ class QueryRequest:
     n_sentences: int | None = None
     request_id: int | str | None = None
     task: int | str | None = None
+    deadline_s: float | None = None
 
     def __post_init__(self):
         story = np.asarray(self.story, dtype=np.int64)
@@ -46,6 +77,10 @@ class QueryRequest:
             raise ValueError(f"story must be 2-D, got shape {story.shape}")
         if question.ndim != 1:
             raise ValueError(f"question must be 1-D, got shape {question.shape}")
+        if self.deadline_s is not None and not self.deadline_s > 0:
+            raise ValueError(
+                f"deadline_s must be positive, got {self.deadline_s}"
+            )
         object.__setattr__(self, "story", story)
         object.__setattr__(self, "question", question)
 
@@ -174,6 +209,18 @@ class ServingStats:
     story-encoding :class:`~repro.serving.cache.MemoryCache` counters
     of the serving predictor (synced at every flush; all worker
     processes included), with ``cache_hit_rate`` derived.
+
+    The SLO layer adds four exact counters: ``shed`` (submissions
+    rejected with :class:`OverloadError` at the full queue), ``expired``
+    (admitted requests dropped with :class:`DeadlineExceededError`
+    because their budget ran out before the flush), and
+    ``deadline_met``/``deadline_missed`` (deadline-carrying requests
+    that completed within / past their budget). ``goodput_rate`` is the
+    deadline-attainment fraction over every SLO-tracked outcome — shed
+    and expired requests count *against* it, which is what makes it an
+    honest open-loop metric. Per-flush execution wall time feeds the
+    ``_service`` reservoir (``p95_service_s``), the base of the
+    deadline thread's flush-cost prediction.
     """
 
     RESERVOIR_CAPACITY = 4096
@@ -183,6 +230,10 @@ class ServingStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_evictions: int = 0
+    shed: int = 0
+    expired: int = 0
+    deadline_met: int = 0
+    deadline_missed: int = 0
     _batch_sizes: _Reservoir = field(
         default_factory=lambda: _Reservoir(ServingStats.RESERVOIR_CAPACITY),
         repr=False,
@@ -195,15 +246,36 @@ class ServingStats:
         default_factory=lambda: _Reservoir(ServingStats.RESERVOIR_CAPACITY),
         repr=False,
     )
+    _service: _Reservoir = field(
+        default_factory=lambda: _Reservoir(ServingStats.RESERVOIR_CAPACITY),
+        repr=False,
+    )
 
-    def record_flush(self, batch_size: int, n_shards: int = 1) -> None:
+    def record_flush(
+        self, batch_size: int, n_shards: int = 1, service_s: float | None = None
+    ) -> None:
         self.flushes += 1
         self.requests += batch_size
         self._batch_sizes.add(batch_size)
         self._shards.add(n_shards)
+        if service_s is not None:
+            self._service.add(service_s)
 
     def record_latencies(self, latencies_s) -> None:
         self._latencies.extend(latencies_s)
+
+    def record_shed(self, n: int = 1) -> None:
+        """Count submissions rejected at the full queue (OverloadError)."""
+        self.shed += n
+
+    def record_expired(self, n: int = 1) -> None:
+        """Count admitted requests dropped past-deadline (shed-expired)."""
+        self.expired += n
+
+    def record_deadline_outcomes(self, met: int, missed: int) -> None:
+        """Count completed deadline-carrying requests by attainment."""
+        self.deadline_met += met
+        self.deadline_missed += missed
 
     def set_cache_counters(
         self, hits: int, misses: int, evictions: int
@@ -260,6 +332,38 @@ class ServingStats:
     @property
     def mean_shards_per_flush(self) -> float:
         return self._shards.mean
+
+    # -- SLO / deadline accounting -------------------------------------
+    @property
+    def service_s(self) -> list[float]:
+        """Per-flush execution wall times (bounded sample)."""
+        return self._service.sample
+
+    @property
+    def mean_service_s(self) -> float:
+        return self._service.mean
+
+    @property
+    def p95_service_s(self) -> float:
+        return self._service.percentile(95.0)
+
+    @property
+    def offered(self) -> int:
+        """Every submission seen: executed + shed + expired."""
+        return self.requests + self.shed + self.expired
+
+    @property
+    def deadline_outcomes(self) -> int:
+        """SLO-tracked outcomes: deadline completions + shed + expired."""
+        return self.deadline_met + self.deadline_missed + self.shed + self.expired
+
+    @property
+    def goodput_rate(self) -> float:
+        """Deadline-attainment fraction: in-budget completions over every
+        SLO-tracked outcome (shed/expired count against; 0.0 when no
+        request carried a deadline and nothing was shed)."""
+        outcomes = self.deadline_outcomes
+        return self.deadline_met / outcomes if outcomes else 0.0
 
     @property
     def cache_lookups(self) -> int:

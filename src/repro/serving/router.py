@@ -187,6 +187,7 @@ class ModelRouter:
         n_workers: int = 1,
         worker_mode: str = "thread",
         start_worker: bool = True,
+        **scheduler_kwargs,
     ):
         if not predictors:
             raise ValueError("need at least one route")
@@ -197,6 +198,9 @@ class ModelRouter:
         self._dispatch = _RoutingPredictor(
             self._routes, self.route_stats, self.resolve_task
         )
+        # scheduler_kwargs forwards the admission-control / SLO knobs
+        # (queue_cap, overload_policy, inline_flush, cost_model, clock,
+        # deadline_margin_s) without re-declaring them here.
         self.scheduler = BatchScheduler(
             self._dispatch,
             max_batch=max_batch,
@@ -204,6 +208,7 @@ class ModelRouter:
             start_worker=start_worker,
             n_workers=n_workers,
             worker_mode=worker_mode,
+            **scheduler_kwargs,
         )
 
     # -- construction ----------------------------------------------------
@@ -225,6 +230,9 @@ class ModelRouter:
         n_workers: int = 1,
         worker_mode: str = "thread",
         start_worker: bool = True,
+        queue_cap: int | None = None,
+        overload_policy: str = "block",
+        inline_flush: bool = True,
         **params,
     ) -> "ModelRouter":
         """One route per task of a saved artifact directory or suite.
@@ -241,6 +249,9 @@ class ModelRouter:
         ``worker_mode="process"`` requires ``artifacts`` to be a
         directory path: the worker processes rebuild each route from it
         (mmap-shared weights; see :mod:`repro.serving.worker`).
+        ``queue_cap``/``overload_policy``/``inline_flush`` are the
+        shared scheduler's admission-control knobs (see
+        :class:`~repro.serving.BatchScheduler`).
         """
         from pathlib import Path
 
@@ -292,6 +303,9 @@ class ModelRouter:
             n_workers=n_workers,
             worker_mode=worker_mode,
             start_worker=start_worker,
+            queue_cap=queue_cap,
+            overload_policy=overload_policy,
+            inline_flush=inline_flush,
         )
 
     # -- routing ----------------------------------------------------------
@@ -330,6 +344,18 @@ class ModelRouter:
         """Enqueue one request on the shared scheduler (validated now)."""
         self.resolve_task(request)
         return self.scheduler.submit(request)
+
+    def submit_nowait(self, request: QueryRequest):
+        """Like :meth:`submit`, but a full bounded queue raises
+        :class:`~repro.serving.api.OverloadError` instead of blocking
+        (the :class:`~repro.serving.frontend.AsyncFrontend` admission
+        path)."""
+        self.resolve_task(request)
+        return self.scheduler.submit_nowait(request)
+
+    def add_room_callback(self, callback) -> None:
+        """Forward a queue-room wakeup registration to the scheduler."""
+        self.scheduler.add_room_callback(callback)
 
     def predict(self, request: QueryRequest) -> QueryResponse:
         """Answer one request directly (no scheduling), with accounting."""

@@ -7,15 +7,52 @@ enqueues a single :class:`~repro.serving.api.QueryRequest` and returns
 a :class:`concurrent.futures.Future`; queued requests are coalesced
 into one flush when either
 
-* the queue reaches ``max_batch`` (flushed by the submitting caller),
-* the oldest queued request has waited ``max_wait_s`` (flushed by the
-  background deadline thread), or
+* the queue reaches ``max_batch`` (flushed by the submitting caller,
+  or by the deadline thread with ``inline_flush=False``),
+* the oldest queued request has waited ``max_wait_s``,
+* a queued request's **deadline slack** is about to be consumed — the
+  deadline thread predicts the flush's wall time with
+  :class:`FlushCostModel` (live :class:`~repro.serving.api.ServingStats`
+  service percentiles, discounted by the story-cache hit rate) and
+  flushes just early enough to land inside the tightest
+  ``QueryRequest.deadline_s`` budget, or
 * the caller forces it (``flush()`` / ``close()`` / context-manager
   exit).
 
+**Admission control.** ``queue_cap`` bounds the pending queue;
+``overload_policy`` picks what happens at the brim:
+
+* ``"block"`` (default) — ``submit()`` waits for room (backpressure);
+  ``submit_nowait()`` raises :class:`~repro.serving.api.OverloadError`
+  instead, which is how the asyncio frontend awaits room without
+  blocking the event loop. In manual mode (no deadline thread) the
+  blocked submitter drains a batch itself rather than deadlocking.
+* ``"shed"`` — reject new submissions with ``OverloadError``; queued
+  work is never touched, so admitted latency stays bounded.
+* ``"shed-expired"`` — like ``"shed"``, but expired queue entries
+  (deadline budget already spent) are evicted first — their futures
+  resolve with :class:`~repro.serving.api.DeadlineExceededError` — and
+  an expired request is also dropped at flush time instead of wasting
+  batch capacity on an answer nobody can use.
+
+Every admitted future resolves — with a response, the flush's
+exception, or ``DeadlineExceededError``; a shed submission raises
+before enqueueing. Shed/expired/deadline-attainment counts land in
+``stats`` (``goodput_rate``).
+
+**Ordering guarantee.** Dequeue from the pending queue is strictly
+FIFO — every flush takes a contiguous run of requests in submission
+order, and responses within one sub-batch resolve in that order. On
+the single-worker inline path flushes additionally *complete* in
+dequeue order (a ticket assigned at dequeue time serialises execution
+FIFO — previously two racing flushes could acquire the execution lock
+out of order and complete newer requests before older ones). With
+``n_workers > 1`` sub-batches execute concurrently by design, so
+completion order across sub-batches is unordered; per-route FIFO then
+holds per sub-batch, not across a flush.
+
 With ``n_workers == 1`` (the default) a flush is one inline
-``predict_batch`` call, serialized exactly like the original
-single-worker scheduler. With ``n_workers > 1`` each flush is split
+``predict_batch`` call. With ``n_workers > 1`` each flush is split
 into up to ``n_workers`` sub-batches — contiguous slices, or whatever
 the predictor's optional ``partition_batch`` hook returns (the router
 partitions by task) — dispatched concurrently and reassembled in
@@ -37,29 +74,36 @@ submission order. ``worker_mode`` picks the pool:
   Requires an artifact-backed predictor; the pool exists even at
   ``n_workers == 1`` (execution is still out-of-process).
 
-Future semantics are unchanged either way: a future cancelled before
-its flush is skipped, every other future resolves with its own
-response (or the sub-batch's exception). The predictor must be
-thread-safe to benefit from ``worker_mode="thread"``; the numpy
-engines are (frozen weights, no shared mutable state).
-
-Per-request latency, per-flush batch sizes and per-flush sub-batch
-counts are recorded in :class:`~repro.serving.api.ServingStats` — the
-numbers ``benchmarks/test_bench_sharding.py`` turns into the scaling
+All timestamps (submission, deadlines, latencies, per-flush service
+time) come from one :class:`~repro.serving.clock.Clock`, so the
+numbers line up and tests can swap in a
+:class:`~repro.serving.clock.ManualClock`. Per-request latency,
+per-flush batch sizes, sub-batch counts and service times are recorded
+in :class:`~repro.serving.api.ServingStats` — the numbers
+``benchmarks/test_bench_sharding.py`` and
+``benchmarks/test_bench_frontend.py`` turn into scaling/goodput
 curves.
 """
 
 from __future__ import annotations
 
 import threading
-import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 
-from repro.serving.api import Predictor, QueryRequest, QueryResponse, ServingStats
+from repro.serving.api import (
+    DeadlineExceededError,
+    OverloadError,
+    Predictor,
+    QueryRequest,
+    QueryResponse,
+    ServingStats,
+)
+from repro.serving.clock import MONOTONIC, Clock
 from repro.serving.worker import initialize_worker, predict_encoded
 
 WORKER_MODES = ("thread", "process")
+OVERLOAD_POLICIES = ("block", "shed", "shed-expired")
 
 
 @dataclass
@@ -67,6 +111,42 @@ class _Pending:
     request: QueryRequest
     future: Future
     submitted_at: float
+    deadline_at: float | None = None
+
+
+@dataclass(frozen=True)
+class FlushCostModel:
+    """Predicts the next flush's wall time from live serving statistics.
+
+    The deadline thread flushes a deadline-carrying queue at
+    ``earliest_deadline - estimate - margin`` instead of the fixed
+    ``max_wait_s``, so the estimate is what buys extra batching time.
+    Base estimate: the p95 of observed per-flush service times (a
+    conservative percentile — landing late breaks the SLO, landing
+    early only shrinks the batch). The story-encoding cache's hit rate
+    then discounts it: a cache hit skips the memory-write phase
+    (Eqs. 1–2), which dominates a miss-only flush (the latency
+    bimodality PR 7 measured), so a hit-heavy request mix predicts a
+    cheaper flush and can keep batching longer before its deadline
+    forces the flush. ``write_share`` is the assumed fraction of a
+    miss-only flush spent writing memory; ``safety_factor`` inflates
+    the whole estimate against scheduling jitter. Until ``min_samples``
+    flushes have been observed the model returns ``cold_estimate_s``.
+    """
+
+    write_share: float = 0.6
+    safety_factor: float = 1.25
+    cold_estimate_s: float = 0.002
+    min_samples: int = 3
+
+    def estimate_s(self, stats: ServingStats) -> float:
+        if stats.flushes < self.min_samples:
+            return self.cold_estimate_s
+        p95 = stats.p95_service_s
+        if p95 <= 0.0:
+            return self.cold_estimate_s
+        discount = 1.0 - self.write_share * stats.cache_hit_rate
+        return p95 * discount * self.safety_factor
 
 
 class BatchScheduler:
@@ -79,6 +159,12 @@ class BatchScheduler:
     deterministic, the mode the unit tests use (the flush *pool* is
     still used when ``n_workers > 1``; ``_execute`` blocks until its
     sub-batches finish, so determinism is preserved).
+
+    ``inline_flush=False`` moves the max-batch flush off the submitting
+    caller onto the deadline thread — the asyncio frontend uses it so a
+    full queue never executes a flush on the event-loop thread
+    (requires ``start_worker=True`` for progress without manual
+    ``flush()`` calls).
     """
 
     def __init__(
@@ -89,6 +175,12 @@ class BatchScheduler:
         start_worker: bool = True,
         n_workers: int = 1,
         worker_mode: str = "thread",
+        queue_cap: int | None = None,
+        overload_policy: str = "block",
+        inline_flush: bool = True,
+        cost_model: FlushCostModel | None = None,
+        deadline_margin_s: float = 0.0005,
+        clock: Clock = MONOTONIC,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -100,17 +192,42 @@ class BatchScheduler:
             raise ValueError(
                 f"worker_mode must be one of {WORKER_MODES}, got {worker_mode!r}"
             )
+        if overload_policy not in OVERLOAD_POLICIES:
+            raise ValueError(
+                f"overload_policy must be one of {OVERLOAD_POLICIES}, "
+                f"got {overload_policy!r}"
+            )
+        if queue_cap is not None and queue_cap < 1:
+            raise ValueError("queue_cap must be >= 1 (or None for unbounded)")
         self.predictor = predictor
         self.max_batch = int(max_batch)
         self.max_wait_s = float(max_wait_s)
         self.n_workers = int(n_workers)
         self.worker_mode = worker_mode
+        self.queue_cap = int(queue_cap) if queue_cap is not None else None
+        self.overload_policy = overload_policy
+        self.inline_flush = bool(inline_flush)
+        self.cost_model = cost_model or FlushCostModel()
+        self.deadline_margin_s = float(deadline_margin_s)
+        self.clock = clock
         self.stats = ServingStats()
         self._pending: list[_Pending] = []
         self._cond = threading.Condition()
-        self._exec_lock = threading.Lock()
         self._stats_lock = threading.Lock()
         self._closed = False
+        #: One-shot callbacks fired (under _cond) whenever a dequeue
+        #: frees queue room — the asyncio frontend's wakeup channel.
+        #: Callbacks must be cheap and must NOT call back into the
+        #: scheduler synchronously (they run with _cond held).
+        self._room_callbacks: list = []
+        # FIFO tickets: assigned at dequeue time (under _cond, where
+        # submission order is defined), retired when the flush is done.
+        # The inline single-worker path executes in ticket order, which
+        # pins completion order = dequeue order = submission order.
+        self._ticket_cond = threading.Condition()
+        self._next_ticket = 0
+        self._now_serving = 0
+        self._retired: set[int] = set()
         # _pool is guarded by _pool_cond: flushes take a usage token
         # (_acquire_pool/_release_pool) and close() retires the pool
         # only once every in-flight flush has released — see close().
@@ -151,34 +268,171 @@ class BatchScheduler:
 
     # -- client side ---------------------------------------------------
     def submit(self, request: QueryRequest) -> "Future[QueryResponse]":
-        """Enqueue one request; the Future resolves at the next flush."""
+        """Enqueue one request; the Future resolves at the next flush.
+
+        At a full bounded queue the call blocks for room under
+        ``overload_policy="block"`` and raises
+        :class:`~repro.serving.api.OverloadError` under the shed
+        policies (after evicting expired entries, for "shed-expired").
+        """
+        return self._submit(request, may_block=True)
+
+    def submit_nowait(self, request: QueryRequest) -> "Future[QueryResponse]":
+        """Like :meth:`submit`, but never blocks for queue room: a full
+        queue raises :class:`~repro.serving.api.OverloadError` under
+        every policy (the asyncio frontend's admission primitive —
+        combined with :meth:`add_room_callback` it awaits room without
+        holding any thread)."""
+        return self._submit(request, may_block=False)
+
+    def _submit(self, request: QueryRequest, may_block: bool) -> Future:
         future: Future = Future()
-        batch: list[_Pending] = []
-        with self._cond:
+        while True:
+            batch: list[_Pending] = []
+            ticket = None
+            drain: list[_Pending] = []
+            drain_ticket = None
+            with self._cond:
+                if self._closed:
+                    raise RuntimeError("scheduler is closed")
+                if not self._admit_locked(may_block):
+                    # Full queue, "block" policy, manual mode: there is
+                    # no deadline thread to drain, so the caller makes
+                    # its own room (backpressure = the caller pays).
+                    drain, drain_ticket = self._take_locked(self.max_batch)
+                else:
+                    now = self.clock.now()
+                    self._pending.append(
+                        _Pending(
+                            request,
+                            future,
+                            now,
+                            self.clock.deadline_at(request.deadline_s, now),
+                        )
+                    )
+                    if len(self._pending) >= self.max_batch:
+                        if self.inline_flush:
+                            batch, ticket = self._take_locked(self.max_batch)
+                        else:
+                            self._cond.notify_all()  # the deadline thread flushes
+                    elif len(self._pending) == 1 or request.deadline_s is not None:
+                        # Wake the deadline thread to (re)arm its timer:
+                        # on a newly non-empty queue, or when this
+                        # request's deadline may be the new binding
+                        # constraint. Notifying on every submit would
+                        # GIL-thrash against busy submitters.
+                        self._cond.notify_all()
+            if drain:
+                self._execute(drain, drain_ticket)
+                continue  # retry admission after making room
+            if batch:  # full batch: the submitting caller pays the flush
+                self._execute(batch, ticket)
+            return future
+
+    def _admit_locked(self, may_block: bool) -> bool:
+        """Wait for / make queue room (caller holds ``_cond``).
+
+        Returns True when the request may enqueue now, False when the
+        caller should drain a batch itself (manual-mode backpressure).
+        Raises :class:`OverloadError` under the shed policies or for a
+        non-blocking submit, ``RuntimeError`` if closed while waiting.
+        """
+        if self.queue_cap is None:
+            return True
+        while len(self._pending) >= self.queue_cap:
+            if self.overload_policy == "shed-expired" and self._drop_expired_locked():
+                continue  # eviction may have made room
+            if self.overload_policy != "block":
+                with self._stats_lock:
+                    self.stats.record_shed()
+                raise OverloadError(
+                    f"pending queue at capacity ({self.queue_cap}) under "
+                    f"overload_policy={self.overload_policy!r}"
+                )
+            if not may_block:
+                raise OverloadError(
+                    f"pending queue at capacity ({self.queue_cap}); "
+                    "submit_nowait does not block for room"
+                )
+            if self._worker is None:
+                return False  # manual mode: caller drains inline
+            self._cond.wait(timeout=0.1)
             if self._closed:
                 raise RuntimeError("scheduler is closed")
-            self._pending.append(_Pending(request, future, time.perf_counter()))
-            if len(self._pending) >= self.max_batch:
-                batch = self._pending[: self.max_batch]
-                del self._pending[: self.max_batch]
-            elif len(self._pending) == 1:
-                # Wake the deadline thread only to arm a deadline for a
-                # newly non-empty queue; notifying on every submit would
-                # GIL-thrash against busy submitters.
-                self._cond.notify_all()
-        if batch:  # full batch: the submitting caller pays the flush
-            self._execute(batch)
-        return future
+        return True
+
+    def _drop_expired_locked(self) -> int:
+        """Evict queued requests whose deadline already passed (caller
+        holds ``_cond``); their futures resolve with
+        :class:`DeadlineExceededError`. Returns the eviction count."""
+        now = self.clock.now()
+        expired = [
+            p
+            for p in self._pending
+            if p.deadline_at is not None and now >= p.deadline_at
+        ]
+        if not expired:
+            return 0
+        dead = set(map(id, expired))
+        self._pending = [p for p in self._pending if id(p) not in dead]
+        dropped = self._resolve_expired(expired)
+        if self._pending_has_room_locked():
+            self._notify_room_locked()
+        return dropped
+
+    def _resolve_expired(self, expired: list[_Pending]) -> int:
+        """Resolve already-dequeued expired requests; returns how many
+        actually resolved (a concurrently cancelled future is skipped)."""
+        dropped = 0
+        for pending in expired:
+            if pending.future.set_running_or_notify_cancel():
+                pending.future.set_exception(
+                    DeadlineExceededError(
+                        f"deadline budget of {pending.request.deadline_s}s "
+                        "spent before the flush executed"
+                    )
+                )
+                dropped += 1
+        if dropped:
+            with self._stats_lock:
+                self.stats.record_expired(dropped)
+        return dropped
+
+    def add_room_callback(self, callback) -> None:
+        """Register a one-shot wakeup fired when a dequeue frees queue
+        room (or the scheduler closes). The callback runs under the
+        scheduler's internal lock: it must be cheap, exception-free and
+        must not call back into the scheduler — the asyncio frontend
+        passes ``loop.call_soon_threadsafe`` wrappers, nothing else."""
+        fire = False
+        with self._cond:
+            if self._closed or self._pending_has_room_locked():
+                fire = True  # already room (or never coming): wake now
+            else:
+                self._room_callbacks.append(callback)
+        if fire:
+            callback()
+
+    def _pending_has_room_locked(self) -> bool:
+        return self.queue_cap is None or len(self._pending) < self.queue_cap
+
+    def _notify_room_locked(self) -> None:
+        """Wake admission waiters after a dequeue (caller holds _cond)."""
+        if self.queue_cap is None:
+            return
+        self._cond.notify_all()
+        callbacks, self._room_callbacks = self._room_callbacks, []
+        for callback in callbacks:
+            callback()
 
     def flush(self) -> None:
         """Drain every queued request now, in the calling thread."""
         while True:
             with self._cond:
-                batch = self._pending[: self.max_batch]
-                del self._pending[: len(batch)]
+                batch, ticket = self._take_locked(self.max_batch)
             if not batch:
                 return
-            self._execute(batch)
+            self._execute(batch, ticket)
 
     def close(self) -> None:
         """Flush outstanding requests and stop the workers. Idempotent.
@@ -193,6 +447,11 @@ class BatchScheduler:
         with self._cond:
             self._closed = True
             self._cond.notify_all()
+            # Wake async admission waiters too: room is never coming,
+            # their retried submit must observe the closed scheduler.
+            callbacks, self._room_callbacks = self._room_callbacks, []
+        for callback in callbacks:
+            callback()
         if self._worker is not None:
             self._worker.join()
             self._worker = None
@@ -216,29 +475,84 @@ class BatchScheduler:
             return len(self._pending)
 
     # -- flush machinery -----------------------------------------------
+    def _take_locked(self, limit: int) -> tuple[list[_Pending], int | None]:
+        """FIFO-dequeue up to ``limit`` requests (caller holds _cond).
+
+        This is the *only* place requests leave the queue, and it takes
+        a contiguous head slice — the FIFO-dequeue guarantee. A ticket
+        is assigned per non-empty take; inline execution honours ticket
+        order (see :meth:`_await_turn`)."""
+        batch = self._pending[: limit]
+        if not batch:
+            return [], None
+        del self._pending[: len(batch)]
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._notify_room_locked()
+        return batch, ticket
+
+    def _await_turn(self, ticket: int) -> None:
+        """Block until every earlier ticket has retired — the inline
+        path's FIFO-completion fence (pooled flushes skip it: sub-batch
+        concurrency is their point)."""
+        with self._ticket_cond:
+            while self._now_serving < ticket:
+                self._ticket_cond.wait()
+
+    def _retire_ticket(self, ticket: int | None) -> None:
+        if ticket is None:
+            return
+        with self._ticket_cond:
+            self._retired.add(ticket)
+            while self._now_serving in self._retired:
+                self._retired.remove(self._now_serving)
+                self._now_serving += 1
+            self._ticket_cond.notify_all()
+
     def _worker_loop(self) -> None:
-        """Flush queues whose oldest request has aged past max_wait_s."""
+        """Flush queues whose oldest request aged past max_wait_s — or
+        whose tightest deadline slack the predicted flush cost is about
+        to consume (the SLO-aware early flush)."""
         while True:
             with self._cond:
                 while not self._pending and not self._closed:
                     self._cond.wait()
                 if self._closed:
                     return  # close() drains what is left
-                deadline = self._pending[0].submitted_at + self.max_wait_s
-                now = time.perf_counter()
+                now = self.clock.now()
+                due = self._due_at_locked()
                 while (
                     self._pending
                     and not self._closed
                     and len(self._pending) < self.max_batch
-                    and now < deadline
+                    and now < due
                 ):
-                    self._cond.wait(timeout=deadline - now)
-                    now = time.perf_counter()
+                    self._cond.wait(timeout=due - now)
+                    now = self.clock.now()
                     if self._pending:
-                        deadline = self._pending[0].submitted_at + self.max_wait_s
-                batch = self._pending[: self.max_batch]
-                del self._pending[: len(batch)]
-            self._execute(batch)
+                        due = self._due_at_locked()
+                batch, ticket = self._take_locked(self.max_batch)
+            self._execute(batch, ticket)
+
+    def _due_at_locked(self) -> float:
+        """The instant the queue must flush (caller holds ``_cond``):
+        the oldest request's ``max_wait_s`` budget, tightened by any
+        deadline — flush at ``deadline - predicted flush cost - margin``
+        so the answer lands inside the budget. A hit-heavy mix (high
+        cache hit rate) predicts a cheaper flush, so deadline-carrying
+        queues batch longer exactly when the cache makes that safe."""
+        due = self._pending[0].submitted_at + self.max_wait_s
+        earliest = None
+        for pending in self._pending:
+            if pending.deadline_at is not None and (
+                earliest is None or pending.deadline_at < earliest
+            ):
+                earliest = pending.deadline_at
+        if earliest is not None:
+            with self._stats_lock:
+                estimate = self.cost_model.estimate_s(self.stats)
+            due = min(due, earliest - estimate - self.deadline_margin_s)
+        return due
 
     def _partition(self, batch: list[_Pending]) -> list[list[_Pending]]:
         """Split a flush into sub-batches for the worker pool.
@@ -284,45 +598,74 @@ class BatchScheduler:
             if not self._pool_users:
                 self._pool_cond.notify_all()
 
-    def _execute(self, batch: list[_Pending]) -> None:
-        # Transition every future to RUNNING first: a future the caller
-        # already cancelled drops out here, and the rest can no longer
-        # be cancelled, so set_result/set_exception below cannot raise
-        # InvalidStateError (which would kill the flushing thread and
-        # strand the remaining futures of the batch).
-        batch = [p for p in batch if p.future.set_running_or_notify_cancel()]
-        if not batch:
-            return
-        pool = self._acquire_pool()
-        if pool is None:
-            # Single-worker mode, or close() already retired the pool
-            # out from under a racing max-batch flush: answer inline so
-            # the RUNNING futures resolve instead of stranding.
-            with self._exec_lock:  # one predictor call at a time
-                self._run_chunk(batch)
-            with self._stats_lock:
-                self.stats.record_flush(len(batch), n_shards=1)
-            self._sync_cache_stats()
-            return
+    def _execute(self, batch: list[_Pending], ticket: int | None = None) -> None:
         try:
-            try:
-                chunks = self._partition(batch)
-            except Exception as error:
-                # The partition hook is predictor code too: a raising
-                # hook must resolve (not strand) the already-RUNNING
-                # futures, and must not kill the deadline thread.
-                for pending in batch:
-                    pending.future.set_exception(error)
+            if self.overload_policy == "shed-expired":
+                # An expired request cannot meet its deadline whatever
+                # we do; spending batch capacity on it only endangers
+                # the live ones. Resolve it typed, serve the rest.
+                now = self.clock.now()
+                expired = [
+                    p
+                    for p in batch
+                    if p.deadline_at is not None and now >= p.deadline_at
+                ]
+                if expired:
+                    self._resolve_expired(expired)
+                    dead = set(map(id, expired))
+                    batch = [p for p in batch if id(p) not in dead]
+            # Transition every future to RUNNING first: a future the
+            # caller already cancelled drops out here, and the rest can
+            # no longer be cancelled, so set_result/set_exception below
+            # cannot raise InvalidStateError (which would kill the
+            # flushing thread and strand the remaining futures).
+            batch = [p for p in batch if p.future.set_running_or_notify_cancel()]
+            if not batch:
                 return
-            if self.worker_mode == "process":
-                self._execute_process(pool, chunks)
-            else:
-                self._execute_threads(pool, chunks)
-            with self._stats_lock:
-                self.stats.record_flush(len(batch), n_shards=len(chunks))
-            self._sync_cache_stats()
+            pool = self._acquire_pool()
+            started = self.clock.now()
+            if pool is None:
+                # Single-worker mode, or close() already retired the
+                # pool out from under a racing max-batch flush: answer
+                # inline so the RUNNING futures resolve instead of
+                # stranding. Ticket order makes completion FIFO here.
+                if ticket is not None:
+                    self._await_turn(ticket)
+                self._run_chunk(batch)
+                with self._stats_lock:
+                    self.stats.record_flush(
+                        len(batch),
+                        n_shards=1,
+                        service_s=self.clock.now() - started,
+                    )
+                self._sync_cache_stats()
+                return
+            try:
+                try:
+                    chunks = self._partition(batch)
+                except Exception as error:
+                    # The partition hook is predictor code too: a
+                    # raising hook must resolve (not strand) the
+                    # already-RUNNING futures, and must not kill the
+                    # deadline thread.
+                    for pending in batch:
+                        pending.future.set_exception(error)
+                    return
+                if self.worker_mode == "process":
+                    self._execute_process(pool, chunks)
+                else:
+                    self._execute_threads(pool, chunks)
+                with self._stats_lock:
+                    self.stats.record_flush(
+                        len(batch),
+                        n_shards=len(chunks),
+                        service_s=self.clock.now() - started,
+                    )
+                self._sync_cache_stats()
+            finally:
+                self._release_pool()
         finally:
-            self._release_pool()
+            self._retire_ticket(ticket)
 
     def _sync_cache_stats(self) -> None:
         """Mirror the predictor's cumulative story-cache counters into
@@ -395,12 +738,27 @@ class BatchScheduler:
                 absorb = getattr(self.predictor, "absorb_worker_cache", None)
                 if absorb is not None:
                     absorb([p.request for p in chunk], cache_delta)
-            done = time.perf_counter()
-            latencies = [done - pending.submitted_at for pending in chunk]
-            with self._stats_lock:
-                self.stats.record_latencies(latencies)
-            for pending, response, latency in zip(chunk, responses, latencies):
-                pending.future.set_result(replace(response, latency_s=latency))
+            self._resolve_chunk(chunk, responses)
+
+    def _resolve_chunk(
+        self, chunk: list[_Pending], responses: list[QueryResponse]
+    ) -> None:
+        """Resolve one answered sub-batch: latency + deadline-attainment
+        accounting, then the futures, in submission order."""
+        done = self.clock.now()
+        latencies = [done - pending.submitted_at for pending in chunk]
+        met = missed = 0
+        for pending in chunk:
+            if pending.deadline_at is not None:
+                if done <= pending.deadline_at:
+                    met += 1
+                else:
+                    missed += 1
+        with self._stats_lock:
+            self.stats.record_latencies(latencies)
+            self.stats.record_deadline_outcomes(met, missed)
+        for pending, response, latency in zip(chunk, responses, latencies):
+            pending.future.set_result(replace(response, latency_s=latency))
 
     def _run_chunk(self, chunk: list[_Pending]) -> None:
         """Answer one sub-batch, resolving its futures in order."""
@@ -412,9 +770,4 @@ class BatchScheduler:
             for pending in chunk:
                 pending.future.set_exception(error)
             return
-        done = time.perf_counter()
-        latencies = [done - pending.submitted_at for pending in chunk]
-        with self._stats_lock:
-            self.stats.record_latencies(latencies)
-        for pending, response, latency in zip(chunk, responses, latencies):
-            pending.future.set_result(replace(response, latency_s=latency))
+        self._resolve_chunk(chunk, responses)

@@ -1,0 +1,53 @@
+"""The unified serving clock: deadline arithmetic and the test double."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.serving import MONOTONIC, Clock, ManualClock
+
+
+class TestClock:
+    def test_now_is_monotonic(self):
+        clock = Clock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_deadline_arithmetic(self):
+        clock = ManualClock(start=10.0)
+        assert clock.deadline_at(None) is None
+        assert clock.deadline_at(2.5) == 12.5
+        assert clock.deadline_at(2.5, start=100.0) == 102.5
+
+    def test_remaining_and_expired(self):
+        clock = ManualClock()
+        deadline = clock.deadline_at(1.0)
+        assert clock.remaining_s(deadline) == 1.0
+        assert not clock.expired(deadline)
+        clock.advance(1.0)
+        assert clock.remaining_s(deadline) == 0.0
+        assert clock.expired(deadline)  # a spent budget counts as expired
+        clock.advance(0.5)
+        assert clock.remaining_s(deadline) == -0.5
+
+    def test_no_deadline_never_expires(self):
+        clock = ManualClock()
+        assert clock.remaining_s(None) == math.inf
+        assert not clock.expired(None)
+        clock.advance(1e9)
+        assert not clock.expired(None)
+
+    def test_manual_clock_only_moves_forward(self):
+        clock = ManualClock()
+        assert clock.now() == 0.0
+        clock.advance(0.25)
+        assert clock.now() == 0.25
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_module_default_is_shared_and_real(self):
+        assert isinstance(MONOTONIC, Clock)
+        assert MONOTONIC.now() > 0.0

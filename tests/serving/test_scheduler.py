@@ -13,14 +13,23 @@ import time
 import numpy as np
 import pytest
 
-from repro.serving import BatchScheduler, QueryRequest, QueryResponse, open_predictor
+from repro.serving import (
+    BatchScheduler,
+    DeadlineExceededError,
+    ManualClock,
+    OverloadError,
+    QueryRequest,
+    QueryResponse,
+    open_predictor,
+)
 
 
-def _request(i: int) -> QueryRequest:
+def _request(i: int, deadline_s: float | None = None) -> QueryRequest:
     return QueryRequest(
         story=np.full((2, 3), i + 1, dtype=np.int64),
         question=np.array([i + 1, 0, 0], dtype=np.int64),
         request_id=i,
+        deadline_s=deadline_s,
     )
 
 
@@ -411,3 +420,184 @@ class TestWithRealPredictor:
         assert [r.comparisons for r in scheduled] == [r.comparisons for r in direct]
         assert scheduler.stats.requests == len(batch)
         assert scheduler.stats.mean_batch_size > 1.0
+
+
+class OrderRecordingStub:
+    """Records every flushed batch's request ids, in completion order."""
+
+    def __init__(self, dwell_s: float = 0.0005):
+        self.batches: list[list[int]] = []
+        self._lock = threading.Lock()
+        self._dwell_s = dwell_s
+
+    def predict_batch(self, requests):
+        time.sleep(self._dwell_s)  # widen the race window between flushers
+        with self._lock:
+            self.batches.append([int(r.request_id) for r in requests])
+        return [
+            QueryResponse(
+                label=int(r.request_id),
+                logit=0.0,
+                comparisons=1,
+                early_exit=False,
+                request_id=r.request_id,
+            )
+            for r in requests
+        ]
+
+
+class TestFifoOrdering:
+    """Regression for the flush()/deadline-thread/max-batch race.
+
+    The documented guarantee: dequeue is strictly FIFO (every flush is
+    a contiguous head slice of the pending queue), and on the
+    single-worker inline path flushes also *complete* in dequeue order.
+    Before the dequeue-time ticketing fix, two concurrent ``_execute``
+    calls could acquire the execution lock out of order and complete
+    newer requests before older ones.
+    """
+
+    N = 200
+
+    def _hammer(self, scheduler, stub):
+        stop = threading.Event()
+
+        def flusher():
+            while not stop.is_set():
+                scheduler.flush()
+
+        flushers = [threading.Thread(target=flusher) for _ in range(4)]
+        for thread in flushers:
+            thread.start()
+        try:
+            futures = [scheduler.submit(_request(i)) for i in range(self.N)]
+            results = [f.result(timeout=30.0) for f in futures]
+        finally:
+            stop.set()
+            for thread in flushers:
+                thread.join(timeout=10.0)
+            scheduler.close()
+        assert [r.label for r in results] == list(range(self.N))
+        return stub.batches
+
+    def test_inline_completion_order_is_submission_order(self):
+        stub = OrderRecordingStub()
+        scheduler = BatchScheduler(
+            stub, max_batch=4, max_wait_s=0.0, start_worker=True
+        )
+        batches = self._hammer(scheduler, stub)
+        completed = [i for batch in batches for i in batch]
+        # Single-worker inline path: ticket order pins completion order
+        # to submission order even with 6 racing flushers.
+        assert completed == list(range(self.N))
+
+    def test_pooled_dequeue_is_fifo_contiguous(self):
+        stub = OrderRecordingStub()
+        scheduler = BatchScheduler(
+            stub, max_batch=4, max_wait_s=0.0, start_worker=True, n_workers=2
+        )
+        batches = self._hammer(scheduler, stub)
+        # Pooled sub-batches complete in any order by design, but every
+        # dequeue is a contiguous run of ids in submission order.
+        for batch in batches:
+            first = batch[0]
+            assert batch == list(range(first, first + len(batch)))
+        assert sorted(i for batch in batches for i in batch) == list(
+            range(self.N)
+        )
+
+
+class TestAdmissionControl:
+    """Bounded queue + overload policies, scheduler-level semantics."""
+
+    def test_block_policy_manual_mode_drains_inline(self):
+        stub = StubPredictor()
+        scheduler = BatchScheduler(
+            stub, max_batch=10, start_worker=False, queue_cap=2
+        )
+        futures = [scheduler.submit(_request(i)) for i in range(3)]
+        # No deadline thread to wait on: the blocked submitter made its
+        # own room by draining one batch before enqueueing.
+        assert stub.flush_sizes == [2]
+        assert scheduler.pending == 1
+        assert [futures[i].result().label for i in range(2)] == [0, 1]
+        assert not futures[2].done()
+        assert scheduler.stats.shed == 0
+        scheduler.close()
+
+    def test_submit_nowait_under_block_is_not_a_shed(self):
+        scheduler = BatchScheduler(
+            StubPredictor(), max_batch=10, start_worker=False, queue_cap=2
+        )
+        for i in range(2):
+            scheduler.submit_nowait(_request(i))
+        with pytest.raises(OverloadError):
+            scheduler.submit_nowait(_request(2))
+        # Under "block" a nowait rejection is a retry signal for the
+        # async frontend, not load shedding — the counter stays 0.
+        assert scheduler.stats.shed == 0
+        assert scheduler.pending == 2
+        scheduler.close()
+
+    def test_shed_policy_rejects_and_counts(self):
+        scheduler = BatchScheduler(
+            StubPredictor(), max_batch=10, start_worker=False,
+            queue_cap=1, overload_policy="shed",
+        )
+        scheduler.submit(_request(0))
+        with pytest.raises(OverloadError):
+            scheduler.submit(_request(1))
+        assert scheduler.stats.shed == 1
+        scheduler.close()  # flushes the admitted request
+        assert scheduler.stats.offered == 2  # 1 served + 1 shed
+
+    def test_shed_expired_evicts_at_admission(self):
+        clock = ManualClock()
+        stub = StubPredictor()
+        scheduler = BatchScheduler(
+            stub, max_batch=10, start_worker=False, clock=clock,
+            queue_cap=2, overload_policy="shed-expired",
+        )
+        doomed = [
+            scheduler.submit(_request(i, deadline_s=1.0)) for i in range(2)
+        ]
+        clock.advance(2.0)
+        live = scheduler.submit(_request(2))  # full queue, but all expired
+        for future in doomed:
+            assert isinstance(future.exception(), DeadlineExceededError)
+        assert scheduler.pending == 1
+        assert scheduler.stats.expired == 2
+        scheduler.close()
+        assert live.result(timeout=5.0).label == 2
+        assert stub.flush_sizes == [1]
+
+    def test_shed_expired_with_no_expired_entries_sheds(self):
+        scheduler = BatchScheduler(
+            StubPredictor(), max_batch=10, start_worker=False,
+            queue_cap=1, overload_policy="shed-expired",
+        )
+        scheduler.submit(_request(0, deadline_s=60.0))
+        with pytest.raises(OverloadError):
+            scheduler.submit(_request(1))
+        assert scheduler.stats.shed == 1
+        scheduler.close()
+
+    def test_manual_clock_latencies_are_exact(self):
+        clock = ManualClock()
+        scheduler = BatchScheduler(
+            StubPredictor(), max_batch=10, start_worker=False, clock=clock
+        )
+        future = scheduler.submit(_request(0))
+        clock.advance(0.5)
+        scheduler.flush()
+        assert future.result().latency_s == 0.5  # exact, not approximate
+        assert scheduler.stats.latencies_s == [0.5]
+        scheduler.close()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="queue_cap"):
+            BatchScheduler(StubPredictor(), queue_cap=0, start_worker=False)
+        with pytest.raises(ValueError, match="overload_policy"):
+            BatchScheduler(
+                StubPredictor(), overload_policy="panic", start_worker=False
+            )
