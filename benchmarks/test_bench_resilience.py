@@ -1,0 +1,201 @@
+"""Chaos soak: the fault-tolerant runtime under real worker deaths.
+
+The acceptance gate for the resilience layer: route a mixed-task
+request stream through the process-mode serving stack while the chaos
+harness kills real worker processes (``os._exit`` inside the worker —
+the pool genuinely breaks), at a ladder of kill rates, twice per rate:
+
+* **supervised** (the default): the scheduler rebuilds the pool from
+  its retained WorkerSpecs and replays the lost sub-batches — the soak
+  must finish with **zero** failed requests and bit-identical answers.
+* **unsupervised** (``supervise_pool=False``, no retry): the first
+  kill takes the flush (and the pool) down with it — requests are
+  lost, which is the row that shows what supervision buys.
+
+Persists ``benchmarks/output/resilience.txt`` (the human-readable
+ladder) and a machine-readable summary under the
+``serving_resilience`` key of ``benchmarks/output/BENCH_serving.json``
+so CI can watch the zero-failure contract hold across PRs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import persist, persist_bench_summary
+
+from repro.serving import (
+    FaultPlan,
+    ModelRouter,
+    QueryRequest,
+    RetryPolicy,
+    ServingError,
+)
+from repro.utils.tables import TextTable
+
+N_REQUESTS = 128
+MAX_BATCH = 16
+N_WORKERS = 2
+TASKS = (1, 2, 6, 15)
+#: (kill rate, supervised) soak ladder. Every nonzero-rate plan also
+#: schedules a guaranteed kill at the third sub-batch, so the
+#: unsupervised row demonstrably loses requests even if the rate draw
+#: happens to spare the early indices.
+LADDER = ((0.0, True), (0.04, True), (0.08, True), (0.04, False))
+
+
+def _requests(suite, n: int) -> list[QueryRequest]:
+    tasks = [t for t in TASKS if t in suite.tasks]
+    stream = []
+    for i in range(n):
+        task = tasks[i % len(tasks)]
+        batch = suite.tasks[task].test_batch
+        j = (i // len(tasks)) % len(batch)
+        stream.append(
+            QueryRequest(
+                batch.stories[j],
+                batch.questions[j],
+                n_sentences=int(batch.story_lengths[j]),
+                request_id=i,
+                task=task,
+            )
+        )
+    return stream
+
+
+def _soak(artifacts, suite, requests, kill_rate: float, supervised: bool):
+    """One soak run; returns (labels, seconds, failed, stats)."""
+    plan = None
+    if kill_rate > 0:
+        plan = FaultPlan(
+            kill_worker_rate=kill_rate,
+            seed=13,
+            schedule=((2, "kill-worker"),),
+        )
+    router = ModelRouter.open(
+        artifacts,
+        tasks=[t for t in TASKS if t in suite.tasks],
+        mips_backend="exact",
+        n_workers=N_WORKERS,
+        worker_mode="process",
+        max_batch=MAX_BATCH,
+        max_wait_s=0.005,
+        chaos_plan=plan,
+        supervise_pool=supervised,
+        retry_policy=(
+            RetryPolicy(max_attempts=4, backoff_base_s=0.0)
+            if supervised
+            else None
+        ),
+    )
+    labels: dict[int, int] = {}
+    failed = 0
+    start = time.perf_counter()
+    with router:
+        futures = []
+        for request in requests:
+            try:
+                futures.append((request.request_id, router.submit(request)))
+            except ServingError:
+                failed += 1
+        for request_id, future in futures:
+            try:
+                labels[request_id] = future.result(timeout=120.0).label
+            except ServingError:
+                failed += 1
+    seconds = time.perf_counter() - start
+    return labels, seconds, failed, router.stats
+
+
+def test_bench_chaos_soak(full_suite, full_suite_artifacts):
+    requests = _requests(full_suite, N_REQUESTS)
+
+    # Fault-free reference answers (thread mode, no pool to kill).
+    reference_router = ModelRouter.open(
+        full_suite,
+        tasks=[t for t in TASKS if t in full_suite.tasks],
+        mips_backend="exact",
+        start_worker=False,
+    )
+    with reference_router:
+        reference = {
+            r.request_id: reference_router.predict(r).label for r in requests
+        }
+
+    table = TextTable(
+        [
+            "kill rate",
+            "supervised",
+            "served",
+            "failed",
+            "retried",
+            "recovered",
+            "pool rebuilds",
+            "requests/s",
+        ],
+        title=(
+            f"Chaos soak — {N_REQUESTS} requests, {len(TASKS)} routes, "
+            f"{N_WORKERS} process workers, max_batch={MAX_BATCH}"
+        ),
+    )
+    rows = []
+    for kill_rate, supervised in LADDER:
+        labels, seconds, failed, stats = _soak(
+            full_suite_artifacts, full_suite, requests, kill_rate, supervised
+        )
+        if supervised:
+            # The zero-failure contract: every request served, every
+            # answer bit-identical to the fault-free reference.
+            assert failed == 0, (
+                f"supervised soak at kill rate {kill_rate} lost "
+                f"{failed} requests"
+            )
+            assert labels == reference, "recovery changed an answer"
+            if kill_rate > 0:
+                assert stats.pool_rebuilds >= 1, "no worker was ever killed"
+                assert stats.recovered >= 1
+        else:
+            assert failed > 0, (
+                "unsupervised soak survived worker kills — supervision "
+                "is not being exercised"
+            )
+            assert all(labels[k] == reference[k] for k in labels)
+        rows.append(
+            {
+                "kill_rate": kill_rate,
+                "supervised": supervised,
+                "served": len(labels),
+                "failed": failed,
+                "retries": stats.retries,
+                "recovered": stats.recovered,
+                "pool_rebuilds": stats.pool_rebuilds,
+                "requests_per_s": round(len(labels) / seconds, 1)
+                if seconds > 0
+                else 0.0,
+            }
+        )
+        table.add_row(
+            [
+                f"{kill_rate:.2f}",
+                "yes" if supervised else "no",
+                str(len(labels)),
+                str(failed),
+                str(stats.retries),
+                str(stats.recovered),
+                str(stats.pool_rebuilds),
+                f"{len(labels) / seconds:,.0f}",
+            ]
+        )
+
+    persist("resilience", table.render())
+    persist_bench_summary(
+        "serving_resilience",
+        {
+            "benchmark": "chaos_soak",
+            "n_requests": N_REQUESTS,
+            "n_workers": N_WORKERS,
+            "max_batch": MAX_BATCH,
+            "tasks": list(TASKS),
+            "rows": rows,
+        },
+    )

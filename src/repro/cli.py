@@ -275,16 +275,24 @@ def _cmd_query(args: argparse.Namespace) -> None:
         )
 
     scheduler = None
-    if args.deadline_ms:
-        # Deadline-stamped queries ride the async SLO front end: same
-        # predictor, plus micro-batching and per-request deadline
-        # attainment accounting (printed after the table).
+    if args.deadline_ms or args.retry_max:
+        # Deadline-stamped (or retry-armed) queries ride the async SLO
+        # front end: same predictor, plus micro-batching, per-request
+        # deadline attainment and retry accounting (printed after the
+        # table).
         import asyncio
 
-        from repro.serving import AsyncFrontend, BatchScheduler
+        from repro.serving import AsyncFrontend, BatchScheduler, RetryPolicy
 
         scheduler = BatchScheduler(
-            predictor, max_batch=max(1, len(requests)), max_wait_s=0.002
+            predictor,
+            max_batch=max(1, len(requests)),
+            max_wait_s=0.002,
+            retry_policy=(
+                RetryPolicy(max_attempts=args.retry_max)
+                if args.retry_max
+                else None
+            ),
         )
 
         def serve(wave):
@@ -330,11 +338,18 @@ def _cmd_query(args: argparse.Namespace) -> None:
     if scheduler is not None:
         scheduler.close()
         stats = scheduler.stats
-        print(
-            f"deadline {args.deadline_ms:.1f} ms: {stats.deadline_met} met / "
-            f"{stats.deadline_missed} missed "
-            f"(goodput {stats.goodput_rate:.1%})"
-        )
+        if args.deadline_ms:
+            print(
+                f"deadline {args.deadline_ms:.1f} ms: {stats.deadline_met} met / "
+                f"{stats.deadline_missed} missed "
+                f"(goodput {stats.goodput_rate:.1%})"
+            )
+        if args.retry_max:
+            print(
+                f"retries (max {args.retry_max} attempts): "
+                f"{stats.retries} replays, {stats.recovered} requests "
+                "recovered"
+            )
     cache = getattr(predictor, "cache", None)
     if cache is not None:
         stats = cache.stats
@@ -420,6 +435,7 @@ def _timed_async_run(args: argparse.Namespace, suite, requests):
         DeadlineExceededError,
         ModelRouter,
         OverloadError,
+        RetryPolicy,
     )
 
     source = suite if args.worker_mode == "thread" else args.artifacts
@@ -437,6 +453,13 @@ def _timed_async_run(args: argparse.Namespace, suite, requests):
         queue_cap=args.queue_cap,
         overload_policy=args.overload_policy,
         inline_flush=False,
+        # The async pass stays chaos-free; retries still apply so the
+        # row is comparable to the sync scheduler rows under --retry-max.
+        retry_policy=(
+            RetryPolicy(max_attempts=args.retry_max)
+            if args.retry_max
+            else None
+        ),
     )
     deadline_s = args.deadline_ms / 1e3 if args.deadline_ms else None
 
@@ -522,9 +545,29 @@ def _cmd_serve_bench(args: argparse.Namespace) -> None:
     one_at_a_time = time.perf_counter() - start
     direct.close()
 
+    # Resilience knobs apply to the scheduler rows only — the direct
+    # baseline above stays fault-free by construction.
+    resilience_kwargs = {}
+    if args.retry_max:
+        from repro.serving import RetryPolicy
+
+        resilience_kwargs["retry_policy"] = RetryPolicy(
+            max_attempts=args.retry_max
+        )
+    if args.breaker_threshold is not None:
+        resilience_kwargs["breaker_threshold"] = args.breaker_threshold
+    if args.chaos_kill_rate:
+        from repro.serving import FaultPlan
+
+        resilience_kwargs["chaos_plan"] = FaultPlan(
+            kill_worker_rate=args.chaos_kill_rate
+        )
+
     def timed_run(n_workers: int, shards: int, worker_mode: str = "thread"):
         # Process workers rebuild their routes from the artifact
         # directory, so the path (not the loaded suite) is the source.
+        from repro.serving import ServingError
+
         source = suite if worker_mode == "thread" else args.artifacts
         router = ModelRouter.open(
             source,
@@ -534,16 +577,28 @@ def _cmd_serve_bench(args: argparse.Namespace) -> None:
             shard_axis=args.shard_axis,
             worker_mode=worker_mode,
             **open_kwargs,
+            **resilience_kwargs,
         )
+        failed = 0
         start = time.perf_counter()
         with router:
-            futures = [router.submit(request) for request in requests]
+            futures = []
+            for request in requests:
+                try:
+                    futures.append(router.submit(request))
+                except ServingError:  # e.g. an open route breaker
+                    failed += 1
             for future in futures:
-                future.result()
-        return time.perf_counter() - start, router
+                try:
+                    future.result()
+                except ServingError:
+                    # Chaos can out-pressure the retry budget; a typed
+                    # failure is an accounted outcome, not a bench bug.
+                    failed += 1
+        return time.perf_counter() - start, router, failed
 
-    single_seconds, single = timed_run(1, 1)
-    pooled_seconds, pooled = timed_run(
+    single_seconds, single, single_failed = timed_run(1, 1)
+    pooled_seconds, pooled, pooled_failed = timed_run(
         args.workers, args.shards, args.worker_mode
     )
 
@@ -558,6 +613,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> None:
             "p99 (ms)",
             "shed",
             "expired",
+            "retried",
+            "recovered",
             "goodput",
         ],
         title=(
@@ -568,6 +625,11 @@ def _cmd_serve_bench(args: argparse.Namespace) -> None:
                 if args.cache_entries
                 else ""
             )
+            + (
+                f", chaos kill rate {args.chaos_kill_rate}"
+                if args.chaos_kill_rate
+                else ""
+            )
         ),
     )
     table.add_row(
@@ -575,6 +637,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> None:
             "one-at-a-time",
             f"{args.requests / one_at_a_time:.0f}",
             "1.0",
+            "-",
+            "-",
             "-",
             "-",
             "-",
@@ -600,6 +664,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> None:
                 f"{stats.p99_latency_s * 1e3:.2f}",
                 str(stats.shed),
                 str(stats.expired),
+                str(stats.retries),
+                str(stats.recovered),
                 goodput,
             ]
         )
@@ -638,6 +704,18 @@ def _cmd_serve_bench(args: argparse.Namespace) -> None:
                 else ""
             )
         )
+    if args.chaos_kill_rate or args.retry_max or args.breaker_threshold:
+        for label, router, failed in (
+            ("1 worker", single, single_failed),
+            ("pool", pooled, pooled_failed),
+        ):
+            stats = router.stats
+            print(
+                f"resilience [{label}]: {failed} failed, "
+                f"{stats.retries} retried, {stats.recovered} recovered, "
+                f"{stats.pool_rebuilds} pool rebuilds, "
+                f"{stats.breaker_opens} breaker opens"
+            )
     print(f"micro-batching speedup: {one_at_a_time / single_seconds:.1f}x")
     print(
         f"worker-pool speedup vs single worker: "
@@ -839,6 +917,15 @@ def build_parser() -> argparse.ArgumentParser:
         "through the async front end (AsyncFrontend) and deadline "
         "attainment is reported after the table",
     )
+    query.add_argument(
+        "--retry-max",
+        type=int,
+        default=0,
+        metavar="N",
+        help="serve through the batching scheduler with a RetryPolicy "
+        "of N total attempts per sub-batch: transient flush failures "
+        "are replayed bit-identically (0 disables)",
+    )
     query.set_defaults(handler=_cmd_query)
 
     bench = subparsers.add_parser(
@@ -938,6 +1025,34 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="pace the --async pass open-loop at this offered request "
         "rate instead of submitting everything at once",
+    )
+    bench.add_argument(
+        "--chaos-kill-rate",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="deterministically inject worker-kill faults into fraction "
+        "R of flush sub-batches on the scheduler rows (process mode "
+        "kills real worker processes; the supervised pool rebuilds and "
+        "replays — pair with --retry-max; 0 disables)",
+    )
+    bench.add_argument(
+        "--retry-max",
+        type=int,
+        default=0,
+        metavar="N",
+        help="RetryPolicy attempt budget per flush sub-batch on the "
+        "scheduler and async rows: transient failures are replayed "
+        "bit-identically with deterministic backoff (0 disables)",
+    )
+    bench.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="arm one per-route circuit breaker opening after N "
+        "consecutive flush failures (requests for an open route fail "
+        "fast with RouteUnavailableError; default: no breakers)",
     )
     bench.set_defaults(handler=_cmd_serve_bench)
 

@@ -48,20 +48,50 @@ The deployment story of the repro in three calls::
                                     overload_policy="shed") as frontend:
           response = await frontend.query(request, deadline_s=0.05)
 
+* **Fault tolerance** (:mod:`repro.serving.errors` /
+  :mod:`repro.serving.resilience` / :mod:`repro.serving.chaos`) — a
+  typed failure taxonomy (transient failures are replay-safe because
+  predictions are pure; :func:`is_transient` is the verdict), a
+  :class:`RetryPolicy` with deterministic exponential backoff the
+  scheduler applies per sub-batch, a *supervised* process pool that
+  rebuilds itself from retained :class:`WorkerSpec` recipes when a
+  worker dies and replays the affected sub-batches bit-identically,
+  one :class:`CircuitBreaker` per router route
+  (``breaker_threshold=`` on ``ModelRouter.open``, with optional
+  degraded fallbacks), and a deterministic fault-injection harness
+  (:class:`FaultPlan` / :class:`ChaosPredictor`) that kills real
+  worker processes on schedule so all of the above is tested against
+  the genuine failure, not a mock.
+
 All serving timestamps come from one :class:`Clock`
 (:data:`MONOTONIC`); tests swap in a :class:`ManualClock`.
 """
 
 from repro.serving.api import (
-    DeadlineExceededError,
-    OverloadError,
     Predictor,
     QueryRequest,
     QueryResponse,
     ServingStats,
 )
 from repro.serving.cache import CacheStats, MemoryCache
+from repro.serving.chaos import (
+    FAULT_KINDS,
+    ChaosPredictor,
+    FaultPlan,
+    InjectedFaultError,
+)
 from repro.serving.clock import MONOTONIC, Clock, ManualClock
+from repro.serving.errors import (
+    TRANSIENT_ERRORS,
+    DeadlineExceededError,
+    OverloadError,
+    PayloadCorruptionError,
+    RouteUnavailableError,
+    SchedulerClosedError,
+    ServingError,
+    WorkerCrashError,
+    is_transient,
+)
 from repro.serving.frontend import AsyncFrontend
 from repro.serving.predictor import (
     DEVICES,
@@ -69,6 +99,7 @@ from repro.serving.predictor import (
     SoftwarePredictor,
     open_predictor,
 )
+from repro.serving.resilience import BREAKER_STATES, CircuitBreaker, RetryPolicy
 from repro.serving.router import ModelRouter
 from repro.serving.scheduler import (
     OVERLOAD_POLICIES,
@@ -81,15 +112,28 @@ from repro.serving.worker import WorkerSpec
 __all__ = [
     "AsyncFrontend",
     "BatchScheduler",
+    "BREAKER_STATES",
     "CacheStats",
+    "ChaosPredictor",
+    "CircuitBreaker",
     "Clock",
     "DeadlineExceededError",
+    "FAULT_KINDS",
+    "FaultPlan",
     "FlushCostModel",
+    "InjectedFaultError",
     "ManualClock",
     "MONOTONIC",
     "OVERLOAD_POLICIES",
     "OverloadError",
+    "PayloadCorruptionError",
+    "RetryPolicy",
+    "RouteUnavailableError",
+    "SchedulerClosedError",
+    "ServingError",
+    "TRANSIENT_ERRORS",
     "WORKER_MODES",
+    "WorkerCrashError",
     "WorkerSpec",
     "DEVICES",
     "HardwarePredictor",
@@ -100,5 +144,6 @@ __all__ = [
     "QueryResponse",
     "ServingStats",
     "SoftwarePredictor",
+    "is_transient",
     "open_predictor",
 ]

@@ -17,28 +17,18 @@ from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+# The full failure taxonomy lives in repro.serving.errors; these two
+# predate it and are re-exported here so existing imports keep working.
+from repro.serving.errors import DeadlineExceededError, OverloadError
 
-class OverloadError(RuntimeError):
-    """The bounded pending queue is full and the admission policy sheds.
-
-    Raised *at submission* by :meth:`BatchScheduler.submit` /
-    ``submit_nowait`` when ``queue_cap`` is reached under
-    ``overload_policy="shed"`` (or ``"shed-expired"`` with no expired
-    entry to evict, or a non-blocking submit under ``"block"``). The
-    request was never enqueued — nothing to await, nothing stranded.
-    """
-
-
-class DeadlineExceededError(TimeoutError):
-    """A request's deadline passed before its flush executed.
-
-    Under ``overload_policy="shed-expired"`` the scheduler drops queued
-    requests whose ``deadline_s`` budget is already spent instead of
-    wasting a flush slot on an answer nobody can use in time; their
-    futures resolve with this exception (subclass of
-    :class:`TimeoutError`, so generic timeout handling catches it).
-    Every admitted request resolves — with a response or with this.
-    """
+__all__ = [
+    "DeadlineExceededError",
+    "OverloadError",
+    "Predictor",
+    "QueryRequest",
+    "QueryResponse",
+    "ServingStats",
+]
 
 
 @dataclass(frozen=True)
@@ -221,6 +211,17 @@ class ServingStats:
     honest open-loop metric. Per-flush execution wall time feeds the
     ``_service`` reservoir (``p95_service_s``), the base of the
     deadline thread's flush-cost prediction.
+
+    The resilience layer adds six more exact counters: ``retries``
+    (sub-batch replays — retry-policy and pool-rebuild alike),
+    ``recovered`` (requests answered successfully after at least one
+    replay), ``pool_rebuilds`` (supervised process-pool swaps after a
+    worker death), ``breaker_opens`` (circuit-breaker transitions into
+    the open state), ``degraded`` (requests served by a route's
+    fallback while its breaker was open), and ``safety_net_wakeups``
+    (async-frontend admission waits resolved by the lost-wakeup timer
+    rather than a room callback — should stay ~0; growth means wakeups
+    are being lost).
     """
 
     RESERVOIR_CAPACITY = 4096
@@ -234,6 +235,12 @@ class ServingStats:
     expired: int = 0
     deadline_met: int = 0
     deadline_missed: int = 0
+    retries: int = 0
+    recovered: int = 0
+    pool_rebuilds: int = 0
+    breaker_opens: int = 0
+    degraded: int = 0
+    safety_net_wakeups: int = 0
     _batch_sizes: _Reservoir = field(
         default_factory=lambda: _Reservoir(ServingStats.RESERVOIR_CAPACITY),
         repr=False,
@@ -276,6 +283,30 @@ class ServingStats:
         """Count completed deadline-carrying requests by attainment."""
         self.deadline_met += met
         self.deadline_missed += missed
+
+    def record_retry(self, n: int = 1) -> None:
+        """Count sub-batch replays (retry-policy or pool-rebuild)."""
+        self.retries += n
+
+    def record_recovered(self, n: int = 1) -> None:
+        """Count requests answered after at least one replay."""
+        self.recovered += n
+
+    def record_pool_rebuild(self, n: int = 1) -> None:
+        """Count supervised process-pool swaps after a worker death."""
+        self.pool_rebuilds += n
+
+    def record_breaker_open(self, n: int = 1) -> None:
+        """Count circuit-breaker transitions into the open state."""
+        self.breaker_opens += n
+
+    def record_degraded(self, n: int = 1) -> None:
+        """Count requests a route's degraded fallback served."""
+        self.degraded += n
+
+    def record_safety_net(self, n: int = 1) -> None:
+        """Count admission waits the lost-wakeup safety net resolved."""
+        self.safety_net_wakeups += n
 
     def set_cache_counters(
         self, hits: int, misses: int, evictions: int

@@ -65,7 +65,12 @@ class AsyncFrontend:
     :class:`BatchScheduler` and :class:`ModelRouter` both do.
     ``default_deadline_s`` stamps a deadline on every request that does
     not carry its own; ``close_backend=False`` leaves shutdown to
-    whoever built the backend.
+    whoever built the backend. ``room_retry_s`` bounds how long an
+    admission coroutine parks before retrying anyway when its room
+    wakeup was lost (see :meth:`_admit`) — it used to be a hard-coded
+    0.1 s, which put a hidden 100 ms latency cliff on any lost wakeup;
+    now it is tunable and every safety-net firing is counted in
+    ``stats.safety_net_wakeups``.
     """
 
     def __init__(
@@ -74,11 +79,15 @@ class AsyncFrontend:
         *,
         default_deadline_s: float | None = None,
         close_backend: bool = True,
+        room_retry_s: float = 0.1,
     ):
         if default_deadline_s is not None and not default_deadline_s > 0:
             raise ValueError("default_deadline_s must be positive (or None)")
+        if not room_retry_s > 0:
+            raise ValueError("room_retry_s must be positive")
         self.backend = backend
         self.default_deadline_s = default_deadline_s
+        self.room_retry_s = float(room_retry_s)
         self._close_backend = close_backend
         self._closed = False
 
@@ -102,9 +111,12 @@ class AsyncFrontend:
         "no room right now": we arm a room callback, retry, and park
         on an asyncio.Event between attempts — the async equivalent of
         the backpressure a blocking ``submit()`` applies to threads.
-        The 0.1 s wait timeout is a lost-wakeup safety net (the same
-        pattern the scheduler's own blocking waiters use), not a
-        polling loop — the callback normally fires the retry.
+        The ``room_retry_s`` wait timeout is a lost-wakeup safety net
+        (the same pattern the scheduler's own blocking waiters use),
+        not a polling loop — the callback normally fires the retry,
+        and every timeout firing is counted in
+        ``stats.safety_net_wakeups`` so a lost-wakeup bug shows up in
+        the numbers instead of hiding as tail latency.
         """
         if self._closed:
             raise RuntimeError("frontend is closed")
@@ -134,9 +146,11 @@ class AsyncFrontend:
             except OverloadError:
                 pass  # the callback is armed; wait for a dequeue
             try:
-                await asyncio.wait_for(room.wait(), timeout=0.1)
+                await asyncio.wait_for(room.wait(), timeout=self.room_retry_s)
             except asyncio.TimeoutError:
-                pass  # safety-net retry
+                note = getattr(scheduler, "note_safety_net_wakeup", None)
+                if note is not None:
+                    note()
 
     # -- public API ---------------------------------------------------
     async def query(
@@ -204,6 +218,7 @@ class AsyncFrontend:
         default_deadline_s: float | None = None,
         queue_cap: int | None = None,
         overload_policy: str = "block",
+        room_retry_s: float = 0.1,
         **router_kwargs: Any,
     ) -> "AsyncFrontend":
         """Build router + scheduler + frontend from an artifact directory.
@@ -222,4 +237,8 @@ class AsyncFrontend:
             overload_policy=overload_policy,
             **router_kwargs,
         )
-        return cls(router, default_deadline_s=default_deadline_s)
+        return cls(
+            router,
+            default_deadline_s=default_deadline_s,
+            room_retry_s=room_retry_s,
+        )

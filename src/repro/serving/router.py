@@ -16,6 +16,20 @@ router implements the scheduler's ``partition_batch`` hook), so each
 worker executes one single-task vectorised ``predict_batch``. Per-route
 traffic is accounted in ``router.route_stats[task]``; scheduler-level
 flush statistics stay in ``router.stats``.
+
+**Per-route circuit breaking** (``breaker_threshold=N``): a route that
+fails ``N`` consecutive flushes is isolated — its
+:class:`~repro.serving.resilience.CircuitBreaker` opens, and requests
+for it fail fast with
+:class:`~repro.serving.errors.RouteUnavailableError` (checked at
+submission, before a doomed request can occupy queue room) instead of
+burning shared scheduler capacity on a model that cannot answer. After
+``breaker_reset_s`` the breaker half-opens and probe flushes test the
+route; one success closes it. A route with a configured *fallback*
+predictor (``fallbacks=`` / ``ModelRouter.open(breaker_fallback=True)``)
+keeps answering while open — degraded (unsharded, cache-bypassing)
+but live — with ``degraded`` counted in the stats. Healthy routes are
+untouched either way: breaker state is strictly per route.
 """
 
 from __future__ import annotations
@@ -24,12 +38,26 @@ import threading
 from typing import Mapping, Sequence
 
 from repro.serving.api import (
+    DeadlineExceededError,
+    OverloadError,
     Predictor,
     QueryRequest,
     QueryResponse,
     ServingStats,
 )
+from repro.serving.clock import MONOTONIC
+from repro.serving.errors import RouteUnavailableError, SchedulerClosedError
+from repro.serving.resilience import CircuitBreaker
 from repro.serving.scheduler import BatchScheduler
+
+#: Failures that say nothing about the *route*'s health: admission and
+#: lifecycle outcomes must not trip a circuit breaker.
+_BREAKER_EXEMPT = (
+    RouteUnavailableError,
+    SchedulerClosedError,
+    OverloadError,
+    DeadlineExceededError,
+)
 
 
 class _RoutingPredictor:
@@ -40,6 +68,61 @@ class _RoutingPredictor:
         self._route_stats = route_stats
         self._resolve = resolve
         self._stats_lock = threading.Lock()
+        self._breakers: dict = {}
+        self._fallbacks: dict = {}
+        self._scheduler = None
+        # Process-mode sub-batches served by a fallback, keyed by the
+        # identity of their first request object (stable between the
+        # worker_payload and worker_decode calls of one chunk).
+        self._degraded_keys: set[int] = set()
+        self._degraded_lock = threading.Lock()
+
+    def attach_breakers(self, breakers, fallbacks) -> None:
+        """Wire the router's per-route breakers/fallbacks in. Must run
+        before the scheduler is built so fallback WorkerSpecs make it
+        into the process-pool initializer; the router points
+        ``_scheduler`` at the shared scheduler afterwards (degraded
+        counts mirror into its stats)."""
+        self._breakers = breakers
+        self._fallbacks = fallbacks
+
+    def _pick(self, task):
+        """The predictor serving ``task`` right now: ``(predictor,
+        primary)``. Consults the breaker (consuming a half-open probe
+        slot when applicable); an open breaker diverts to the route's
+        fallback or raises
+        :class:`~repro.serving.errors.RouteUnavailableError`."""
+        breaker = self._breakers.get(task)
+        if breaker is None or breaker.allow():
+            return self._routes[task], True
+        fallback = self._fallbacks.get(task)
+        if fallback is not None:
+            return fallback, False
+        raise RouteUnavailableError(
+            f"route {task!r} circuit breaker is {breaker.state} and no "
+            "fallback is configured; retry after the reset timeout"
+        )
+
+    def _note_degraded(self, task, n: int) -> None:
+        with self._stats_lock:
+            self._route_stats[task].record_degraded(n)
+        if self._scheduler is not None:
+            self._scheduler.note_degraded(n)
+
+    def record_failure(self, requests: Sequence[QueryRequest], error) -> None:
+        """Scheduler failure hook: feed each failed sub-batch's route
+        breaker. Pooled sub-batches are task-pure so the blame is
+        exact; an inline mixed batch blames every route present (the
+        flush failed for all of them). Admission/lifecycle errors are
+        exempt — they say nothing about route health."""
+        if isinstance(error, _BREAKER_EXEMPT):
+            return
+        with self._degraded_lock:
+            self._degraded_keys.discard(id(requests[0]))
+        for task in {self._resolve(request) for request in requests}:
+            breaker = self._breakers.get(task)
+            if breaker is not None:
+                breaker.record_failure()
 
     def _grouped(self, requests: Sequence[QueryRequest]):
         """Indices grouped by resolved task, in submission order."""
@@ -56,9 +139,16 @@ class _RoutingPredictor:
     ) -> list[QueryResponse]:
         responses: list[QueryResponse | None] = [None] * len(requests)
         for task, indices in self._grouped(requests).items():
-            answered = self._routes[task].predict_batch(
+            predictor, primary = self._pick(task)
+            answered = predictor.predict_batch(
                 [requests[i] for i in indices]
             )
+            breaker = self._breakers.get(task)
+            if primary:
+                if breaker is not None:
+                    breaker.record_success()
+            else:
+                self._note_degraded(task, len(indices))
             with self._stats_lock:
                 self._route_stats[task].record_flush(len(indices))
                 self._sync_route_cache(task)
@@ -100,7 +190,12 @@ class _RoutingPredictor:
 
     # -- process-worker hooks (see repro.serving.worker) ---------------
     def worker_specs(self):
-        """Every route's rebuild spec, for the process pool initializer."""
+        """Every route's rebuild spec, for the process pool initializer.
+
+        Configured fallback predictors' specs ride along so workers are
+        pre-built for degraded serving too (a worker that missed one
+        still builds it lazily on first use).
+        """
         specs = []
         for task in sorted(self._routes, key=repr):
             predictor = self._routes[task]
@@ -112,6 +207,10 @@ class _RoutingPredictor:
                     "hooks"
                 )
             specs.extend(hook())
+            fallback = self._fallbacks.get(task)
+            fallback_hook = getattr(fallback, "worker_specs", None)
+            if fallback_hook is not None:
+                specs.extend(fallback_hook())
         return specs
 
     def _single_route(self, requests: Sequence[QueryRequest]):
@@ -126,15 +225,34 @@ class _RoutingPredictor:
         return tasks.pop()
 
     def worker_payload(self, requests: Sequence[QueryRequest]):
-        return self._routes[self._single_route(requests)].worker_payload(
-            requests
-        )
+        task = self._single_route(requests)
+        predictor, primary = self._pick(task)
+        key = id(requests[0])
+        with self._degraded_lock:
+            # A replayed chunk re-picks: track the *latest* decision.
+            if primary:
+                self._degraded_keys.discard(key)
+            else:
+                self._degraded_keys.add(key)
+        return predictor.worker_payload(requests)
 
     def worker_decode(self, requests, labels, logits, comparisons, early_exits):
         task = self._single_route(requests)
-        responses = self._routes[task].worker_decode(
-            requests, labels, logits, comparisons, early_exits
-        )
+        with self._degraded_lock:
+            degraded = id(requests[0]) in self._degraded_keys
+            self._degraded_keys.discard(id(requests[0]))
+        if degraded:
+            responses = self._fallbacks[task].worker_decode(
+                requests, labels, logits, comparisons, early_exits
+            )
+            self._note_degraded(task, len(requests))
+        else:
+            responses = self._routes[task].worker_decode(
+                requests, labels, logits, comparisons, early_exits
+            )
+            breaker = self._breakers.get(task)
+            if breaker is not None:
+                breaker.record_success()
         with self._stats_lock:
             self._route_stats[task].record_flush(len(requests))
             self._sync_route_cache(task)
@@ -187,20 +305,50 @@ class ModelRouter:
         n_workers: int = 1,
         worker_mode: str = "thread",
         start_worker: bool = True,
+        breaker_threshold: int | None = None,
+        breaker_reset_s: float = 0.5,
+        breaker_probes: int = 1,
+        fallbacks: Mapping[int | str, Predictor] | None = None,
         **scheduler_kwargs,
     ):
         if not predictors:
             raise ValueError("need at least one route")
         self._routes = dict(predictors)
+        self._fallbacks = dict(fallbacks) if fallbacks else {}
+        unknown = set(self._fallbacks) - set(self._routes)
+        if unknown:
+            raise KeyError(
+                f"fallbacks for unknown routes {sorted(unknown, key=repr)}"
+            )
         self.route_stats: dict = {
             task: ServingStats() for task in self._routes
         }
         self._dispatch = _RoutingPredictor(
             self._routes, self.route_stats, self.resolve_task
         )
-        # scheduler_kwargs forwards the admission-control / SLO knobs
-        # (queue_cap, overload_policy, inline_flush, cost_model, clock,
-        # deadline_margin_s) without re-declaring them here.
+        # Breakers share the scheduler's clock (ManualClock tests drive
+        # reset timeouts by hand); on_open fires through the router so
+        # both the per-route and the scheduler stats count it.
+        clock = scheduler_kwargs.get("clock", MONOTONIC)
+        self.breakers: dict = {}
+        if breaker_threshold is not None:
+            self.breakers = {
+                task: CircuitBreaker(
+                    failure_threshold=breaker_threshold,
+                    reset_timeout_s=breaker_reset_s,
+                    half_open_probes=breaker_probes,
+                    clock=clock,
+                    on_open=(lambda task=task: self._note_breaker_open(task)),
+                )
+                for task in self._routes
+            }
+        # Attach before the scheduler exists: process mode snapshots
+        # worker_specs() (fallbacks included) at pool construction.
+        self._dispatch.attach_breakers(self.breakers, self._fallbacks)
+        # scheduler_kwargs forwards the admission-control / SLO /
+        # resilience knobs (queue_cap, overload_policy, inline_flush,
+        # cost_model, clock, deadline_margin_s, retry_policy,
+        # supervise_pool, max_pool_rebuilds) without re-declaring them.
         self.scheduler = BatchScheduler(
             self._dispatch,
             max_batch=max_batch,
@@ -210,6 +358,14 @@ class ModelRouter:
             worker_mode=worker_mode,
             **scheduler_kwargs,
         )
+        self._dispatch._scheduler = self.scheduler
+
+    def _note_breaker_open(self, task) -> None:
+        """CircuitBreaker ``on_open`` hook: count the transition in the
+        route's stats and the shared scheduler's."""
+        with self._dispatch._stats_lock:
+            self.route_stats[task].record_breaker_open()
+        self.scheduler.note_breaker_open()
 
     # -- construction ----------------------------------------------------
     @classmethod
@@ -233,6 +389,14 @@ class ModelRouter:
         queue_cap: int | None = None,
         overload_policy: str = "block",
         inline_flush: bool = True,
+        retry_policy=None,
+        supervise_pool: bool = True,
+        max_pool_rebuilds: int = 8,
+        breaker_threshold: int | None = None,
+        breaker_reset_s: float = 0.5,
+        breaker_probes: int = 1,
+        breaker_fallback: bool = False,
+        chaos_plan=None,
         **params,
     ) -> "ModelRouter":
         """One route per task of a saved artifact directory or suite.
@@ -252,6 +416,19 @@ class ModelRouter:
         ``queue_cap``/``overload_policy``/``inline_flush`` are the
         shared scheduler's admission-control knobs (see
         :class:`~repro.serving.BatchScheduler`).
+
+        Resilience knobs: ``retry_policy``/``supervise_pool``/
+        ``max_pool_rebuilds`` forward to the shared scheduler;
+        ``breaker_threshold``/``breaker_reset_s``/``breaker_probes``
+        arm one :class:`~repro.serving.resilience.CircuitBreaker` per
+        route. ``breaker_fallback=True`` additionally opens a degraded
+        twin of every route — same model and backend, but unsharded
+        and cache-bypassing — that keeps answering while the route's
+        breaker is open. ``chaos_plan``
+        (a :class:`~repro.serving.chaos.FaultPlan`) wraps every primary
+        route in a :class:`~repro.serving.chaos.ChaosPredictor` with a
+        per-route forked seed — the deterministic fault-injection mode
+        the chaos soaks use; fallbacks stay fault-free.
         """
         from pathlib import Path
 
@@ -296,6 +473,31 @@ class ModelRouter:
             )
             for task in tasks
         }
+        if chaos_plan is not None:
+            from repro.serving.chaos import ChaosPredictor
+
+            predictors = {
+                task: ChaosPredictor(predictor, chaos_plan.fork(task))
+                for task, predictor in predictors.items()
+            }
+        fallbacks = None
+        if breaker_fallback:
+            fallbacks = {
+                task: open_predictor(
+                    artifacts,
+                    task,
+                    device=device,
+                    mips_backend=mips_backend,
+                    shards=None,
+                    shard_axis="batch",
+                    quantized=quantized,
+                    cache_entries=None,
+                    cache_bytes=None,
+                    spec_source=spec_source,
+                    **params,
+                )
+                for task in tasks
+            }
         return cls(
             predictors,
             max_batch=max_batch,
@@ -306,6 +508,13 @@ class ModelRouter:
             queue_cap=queue_cap,
             overload_policy=overload_policy,
             inline_flush=inline_flush,
+            retry_policy=retry_policy,
+            supervise_pool=supervise_pool,
+            max_pool_rebuilds=max_pool_rebuilds,
+            breaker_threshold=breaker_threshold,
+            breaker_reset_s=breaker_reset_s,
+            breaker_probes=breaker_probes,
+            fallbacks=fallbacks,
         )
 
     # -- routing ----------------------------------------------------------
@@ -340,9 +549,28 @@ class ModelRouter:
             raise KeyError(f"unknown task {task!r}; routes: {self.tasks}")
         return self._routes[task]
 
+    def _check_route_available(self, task) -> None:
+        """Admission fast-fail: a request for an open-breaker route with
+        no fallback is doomed — raise
+        :class:`~repro.serving.errors.RouteUnavailableError` *now*
+        instead of letting it occupy queue room and poison a flush.
+        Read-only (:meth:`CircuitBreaker.would_allow`): half-open probe
+        slots are consumed at flush time, not here."""
+        breaker = self.breakers.get(task)
+        if (
+            breaker is not None
+            and task not in self._fallbacks
+            and not breaker.would_allow()
+        ):
+            raise RouteUnavailableError(
+                f"route {task!r} circuit breaker is {breaker.state}; "
+                "retry after the reset timeout"
+            )
+
     def submit(self, request: QueryRequest):
-        """Enqueue one request on the shared scheduler (validated now)."""
-        self.resolve_task(request)
+        """Enqueue one request on the shared scheduler (validated now,
+        including the route's breaker state)."""
+        self._check_route_available(self.resolve_task(request))
         return self.scheduler.submit(request)
 
     def submit_nowait(self, request: QueryRequest):
@@ -350,7 +578,7 @@ class ModelRouter:
         :class:`~repro.serving.api.OverloadError` instead of blocking
         (the :class:`~repro.serving.frontend.AsyncFrontend` admission
         path)."""
-        self.resolve_task(request)
+        self._check_route_available(self.resolve_task(request))
         return self.scheduler.submit_nowait(request)
 
     def add_room_callback(self, callback) -> None:

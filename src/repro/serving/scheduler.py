@@ -40,6 +40,25 @@ exception, or ``DeadlineExceededError``; a shed submission raises
 before enqueueing. Shed/expired/deadline-attainment counts land in
 ``stats`` (``goodput_rate``).
 
+**Fault tolerance.** Predictions are pure functions of the request
+and the frozen weights, which makes replay safe and bit-identical —
+the scheduler exploits that twice. A ``retry_policy``
+(:class:`~repro.serving.resilience.RetryPolicy`) replays sub-batches
+whose failure is *transient* per the
+:mod:`repro.serving.errors` taxonomy, with deterministic exponential
+backoff. In process mode the pool is additionally **supervised**
+(``supervise_pool``): when a worker dies mid-flush
+(``BrokenProcessPool``), the scheduler rebuilds the executor from the
+:class:`~repro.serving.worker.WorkerSpec` recipe it retained at
+construction and transparently replays the affected sub-batches on
+the fresh pool — bounded by ``max_pool_rebuilds``, and independent of
+the retry policy. Failures that survive recovery resolve futures with
+*typed* errors (:class:`~repro.serving.errors.SchedulerClosedError`
+when a concurrent ``close()`` retired the pool,
+:class:`~repro.serving.errors.WorkerCrashError` when the rebuild
+budget is spent), never a raw executor internal. Retries, recoveries
+and rebuilds are counted in ``stats``.
+
 **Ordering guarantee.** Dequeue from the pending queue is strictly
 FIFO — every flush takes a contiguous run of requests in submission
 order, and responses within one sub-batch resolve in that order. On
@@ -88,7 +107,12 @@ curves.
 from __future__ import annotations
 
 import threading
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from dataclasses import dataclass, replace
 
 from repro.serving.api import (
@@ -100,6 +124,12 @@ from repro.serving.api import (
     ServingStats,
 )
 from repro.serving.clock import MONOTONIC, Clock
+from repro.serving.errors import (
+    SchedulerClosedError,
+    ServingError,
+    WorkerCrashError,
+)
+from repro.serving.resilience import RetryPolicy
 from repro.serving.worker import initialize_worker, predict_encoded
 
 WORKER_MODES = ("thread", "process")
@@ -181,6 +211,9 @@ class BatchScheduler:
         cost_model: FlushCostModel | None = None,
         deadline_margin_s: float = 0.0005,
         clock: Clock = MONOTONIC,
+        retry_policy: RetryPolicy | None = None,
+        supervise_pool: bool = True,
+        max_pool_rebuilds: int = 8,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -188,6 +221,8 @@ class BatchScheduler:
             raise ValueError("max_wait_s must be >= 0")
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
+        if max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be >= 0")
         if worker_mode not in WORKER_MODES:
             raise ValueError(
                 f"worker_mode must be one of {WORKER_MODES}, got {worker_mode!r}"
@@ -210,6 +245,9 @@ class BatchScheduler:
         self.cost_model = cost_model or FlushCostModel()
         self.deadline_margin_s = float(deadline_margin_s)
         self.clock = clock
+        self.retry_policy = retry_policy
+        self.supervise_pool = bool(supervise_pool)
+        self.max_pool_rebuilds = int(max_pool_rebuilds)
         self.stats = ServingStats()
         self._pending: list[_Pending] = []
         self._cond = threading.Condition()
@@ -233,6 +271,12 @@ class BatchScheduler:
         # only once every in-flight flush has released — see close().
         self._pool_cond = threading.Condition()
         self._pool_users = 0
+        # Rebuild recipe + budget for the supervised process pool: the
+        # WorkerSpecs captured at construction are all a replacement
+        # pool needs, and _pool_rebuilds counts lifetime swaps against
+        # max_pool_rebuilds (guarded by _pool_cond like _pool itself).
+        self._pool_specs = None
+        self._pool_rebuilds = 0
         if worker_mode == "process":
             # Fail at construction, not at first flush: process mode
             # needs a predictor that can describe itself as WorkerSpecs.
@@ -245,11 +289,8 @@ class BatchScheduler:
                 )
             # Even one process worker runs out-of-process, so the pool
             # exists for every n_workers in this mode.
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.n_workers,
-                initializer=initialize_worker,
-                initargs=(specs_hook(),),
-            )
+            self._pool_specs = specs_hook()
+            self._pool = self._make_process_pool()
         else:
             self._pool = (
                 ThreadPoolExecutor(
@@ -294,7 +335,7 @@ class BatchScheduler:
             drain_ticket = None
             with self._cond:
                 if self._closed:
-                    raise RuntimeError("scheduler is closed")
+                    raise SchedulerClosedError("scheduler is closed")
                 if not self._admit_locked(may_block):
                     # Full queue, "block" policy, manual mode: there is
                     # no deadline thread to drain, so the caller makes
@@ -335,7 +376,9 @@ class BatchScheduler:
         Returns True when the request may enqueue now, False when the
         caller should drain a batch itself (manual-mode backpressure).
         Raises :class:`OverloadError` under the shed policies or for a
-        non-blocking submit, ``RuntimeError`` if closed while waiting.
+        non-blocking submit,
+        :class:`~repro.serving.errors.SchedulerClosedError` if closed
+        while waiting.
         """
         if self.queue_cap is None:
             return True
@@ -358,7 +401,7 @@ class BatchScheduler:
                 return False  # manual mode: caller drains inline
             self._cond.wait(timeout=0.1)
             if self._closed:
-                raise RuntimeError("scheduler is closed")
+                raise SchedulerClosedError("scheduler is closed")
         return True
 
     def _drop_expired_locked(self) -> int:
@@ -578,6 +621,81 @@ class BatchScheduler:
             start = stop
         return [c for c in chunks if c]
 
+    def _make_process_pool(self) -> ProcessPoolExecutor:
+        """A fresh worker pool from the retained WorkerSpec recipe —
+        used at construction and by every supervised rebuild."""
+        return ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            initializer=initialize_worker,
+            initargs=(self._pool_specs,),
+        )
+
+    def _rebuild_pool(self, broken) -> ProcessPoolExecutor | None:
+        """Swap a broken process pool for a fresh one (supervision).
+
+        Returns the pool to replay the affected sub-batches on, or
+        ``None`` when replay is impossible: the scheduler is closed,
+        supervision is off, or the rebuild budget is spent. Idempotent
+        under concurrent flushes — whoever loses the race just gets the
+        replacement another flush already installed, without burning a
+        second budget slot.
+        """
+        with self._pool_cond:
+            current = self._pool
+            if current is not None and current is not broken:
+                return current  # another flush already swapped it in
+            if (
+                current is None
+                or self._closed
+                or not self.supervise_pool
+                or self._pool_rebuilds >= self.max_pool_rebuilds
+            ):
+                return None
+            self._pool_rebuilds += 1
+            self._pool = self._make_process_pool()
+            fresh = self._pool
+        # Reap the dead pool outside the lock; its workers are gone, so
+        # there is nothing to wait for.
+        broken.shutdown(wait=False)
+        with self._stats_lock:
+            self.stats.record_pool_rebuild()
+        return fresh
+
+    @property
+    def pool_rebuilds(self) -> int:
+        """Lifetime count of supervised pool swaps."""
+        with self._pool_cond:
+            return self._pool_rebuilds
+
+    @staticmethod
+    def _is_pool_failure(error: BaseException) -> bool:
+        """Whether a failure condemns the *pool* rather than the batch:
+        ``BrokenExecutor`` (a worker process died) or the executor's
+        raw RuntimeError for submitting after another flush already
+        retired/swapped the pool this flush still references."""
+        if isinstance(error, BrokenExecutor):
+            return True
+        return (
+            isinstance(error, RuntimeError)
+            and not isinstance(error, ServingError)
+            and "shutdown" in str(error)
+        )
+
+    def note_safety_net_wakeup(self) -> None:
+        """Count one lost-wakeup safety-net firing (async frontend)."""
+        with self._stats_lock:
+            self.stats.record_safety_net()
+
+    def note_breaker_open(self) -> None:
+        """Count one circuit-breaker open transition (router hook)."""
+        with self._stats_lock:
+            self.stats.record_breaker_open()
+
+    def note_degraded(self, n: int = 1) -> None:
+        """Count requests a route's degraded fallback served (router)."""
+        with self._stats_lock:
+            self.stats.record_degraded(n)
+
     def _acquire_pool(self):
         """Take a usage token on the pool, or None when it is gone.
 
@@ -648,8 +766,7 @@ class BatchScheduler:
                     # raising hook must resolve (not strand) the
                     # already-RUNNING futures, and must not kill the
                     # deadline thread.
-                    for pending in batch:
-                        pending.future.set_exception(error)
+                    self._fail_chunk(batch, error)
                     return
                 if self.worker_mode == "process":
                     self._execute_process(pool, chunks)
@@ -689,8 +806,7 @@ class BatchScheduler:
                     continue
                 except Exception as error:  # e.g. a broken executor
                     failure = error
-            for pending in chunk:
-                pending.future.set_exception(failure)
+            self._fail_chunk(chunk, failure)
         # The flushing thread works one sub-batch itself instead of
         # idling — with W workers a flush occupies W threads, not W+1.
         self._run_chunk(chunks[0])
@@ -701,44 +817,100 @@ class BatchScheduler:
         """Ship each sub-batch's encoded arrays to a worker process.
 
         Every chunk is submitted before any result is awaited so the
-        pool works them concurrently; each stage resolves its own
-        chunk's futures on failure (a bad payload, a broken pool, a
-        worker exception) without stranding the other chunks.
+        pool works them concurrently. Failures are classified, not
+        propagated raw: a failure that condemns the *pool* (a worker
+        died → ``BrokenProcessPool``) triggers a supervised rebuild
+        from the retained WorkerSpecs and the affected sub-batches are
+        replayed on the fresh pool — predictions are pure, so the
+        replay is bit-identical. A *transient* failure the worker
+        raised is replayed per ``retry_policy`` with one backoff sleep
+        per round. Everything else resolves that chunk's futures typed:
+        :class:`~repro.serving.errors.SchedulerClosedError` when a
+        concurrent ``close()`` took the pool away for good,
+        :class:`~repro.serving.errors.WorkerCrashError` (cause chained)
+        when the rebuild budget is spent, the original error otherwise
+        — all without stranding the other chunks.
         """
-        jobs: list[tuple[list[_Pending], Future | None]] = []
-        for chunk in chunks:
-            try:
-                payload = self.predictor.worker_payload(
-                    [p.request for p in chunk]
-                )
-                jobs.append((chunk, pool.submit(predict_encoded, *payload)))
-            except Exception as error:
-                for pending in chunk:
-                    pending.future.set_exception(error)
-                jobs.append((chunk, None))
-        for chunk, job in jobs:
-            if job is None:
-                continue
-            try:
-                labels, logits, comparisons, early_exits, cache_delta = (
-                    job.result()
-                )
-                responses = self.predictor.worker_decode(
-                    [p.request for p in chunk],
-                    labels,
-                    logits,
-                    comparisons,
-                    early_exits,
-                )
-            except Exception as error:
-                for pending in chunk:
-                    pending.future.set_exception(error)
-                continue
-            if cache_delta is not None:
-                absorb = getattr(self.predictor, "absorb_worker_cache", None)
-                if absorb is not None:
-                    absorb([p.request for p in chunk], cache_delta)
-            self._resolve_chunk(chunk, responses)
+        retry = self.retry_policy
+        pending_chunks = [(chunk, 1) for chunk in chunks]
+        while pending_chunks:
+            round_pool = pool
+            jobs: list[tuple[list[_Pending], int, Future | None, object]] = []
+            for chunk, attempt in pending_chunks:
+                job = error = None
+                try:
+                    payload = self.predictor.worker_payload(
+                        [p.request for p in chunk]
+                    )
+                    job = round_pool.submit(predict_encoded, *payload)
+                except Exception as exc:
+                    error = exc
+                jobs.append((chunk, attempt, job, error))
+            pending_chunks = []
+            backoff_s = 0.0
+            for chunk, attempt, job, error in jobs:
+                if error is None:
+                    try:
+                        labels, logits, comparisons, early_exits, cache_delta = (
+                            job.result()
+                        )
+                        responses = self.predictor.worker_decode(
+                            [p.request for p in chunk],
+                            labels,
+                            logits,
+                            comparisons,
+                            early_exits,
+                        )
+                    except Exception as exc:
+                        error = exc
+                    else:
+                        if cache_delta is not None:
+                            absorb = getattr(
+                                self.predictor, "absorb_worker_cache", None
+                            )
+                            if absorb is not None:
+                                absorb([p.request for p in chunk], cache_delta)
+                        self._resolve_chunk(chunk, responses)
+                        if attempt > 1:
+                            with self._stats_lock:
+                                self.stats.record_recovered(len(chunk))
+                        continue
+                if self._is_pool_failure(error):
+                    # Pool-level: rebuild-and-replay needs no retry
+                    # policy — it is bounded by max_pool_rebuilds, and
+                    # the rebuild is shared by every chunk this round.
+                    replacement = self._rebuild_pool(round_pool)
+                    if replacement is not None:
+                        pool = replacement
+                        pending_chunks.append((chunk, attempt + 1))
+                        with self._stats_lock:
+                            self.stats.record_retry()
+                        continue
+                    if self._closed:
+                        closed = SchedulerClosedError(
+                            "scheduler closed while a process flush was "
+                            "in flight; the worker pool is gone on purpose"
+                        )
+                        closed.__cause__ = error
+                        self._fail_chunk(chunk, closed)
+                        continue
+                    crash = WorkerCrashError(
+                        "worker pool broke and could not be rebuilt "
+                        f"(supervise_pool={self.supervise_pool}, rebuilds "
+                        f"used {self._pool_rebuilds}/{self.max_pool_rebuilds})"
+                    )
+                    crash.__cause__ = error
+                    self._fail_chunk(chunk, crash)
+                    continue
+                if retry is not None and retry.should_retry(error, attempt):
+                    backoff_s = max(backoff_s, retry.backoff_s(attempt))
+                    pending_chunks.append((chunk, attempt + 1))
+                    with self._stats_lock:
+                        self.stats.record_retry()
+                    continue
+                self._fail_chunk(chunk, error)
+            if pending_chunks and backoff_s > 0.0:
+                self.clock.sleep(backoff_s)
 
     def _resolve_chunk(
         self, chunk: list[_Pending], responses: list[QueryResponse]
@@ -761,13 +933,46 @@ class BatchScheduler:
             pending.future.set_result(replace(response, latency_s=latency))
 
     def _run_chunk(self, chunk: list[_Pending]) -> None:
-        """Answer one sub-batch, resolving its futures in order."""
-        try:
-            responses = self.predictor.predict_batch(
-                [p.request for p in chunk]
-            )
-        except Exception as error:  # propagate to this sub-batch's waiters
-            for pending in chunk:
-                pending.future.set_exception(error)
+        """Answer one sub-batch, resolving its futures in order.
+
+        The thread/inline twin of the process path's recovery:
+        transient predictor failures are replayed per ``retry_policy``
+        (predictions are pure, so the replay is bit-identical); the
+        final failure resolves the sub-batch's futures instead of
+        propagating.
+        """
+        retry = self.retry_policy
+        requests = [p.request for p in chunk]
+        attempt = 1
+        while True:
+            try:
+                responses = self.predictor.predict_batch(requests)
+            except Exception as error:
+                if retry is not None and retry.should_retry(error, attempt):
+                    with self._stats_lock:
+                        self.stats.record_retry()
+                    self.clock.sleep(retry.backoff_s(attempt))
+                    attempt += 1
+                    continue
+                self._fail_chunk(chunk, error)
+                return
+            if attempt > 1:
+                with self._stats_lock:
+                    self.stats.record_recovered(len(chunk))
+            self._resolve_chunk(chunk, responses)
             return
-        self._resolve_chunk(chunk, responses)
+
+    def _fail_chunk(self, chunk: list[_Pending], error: BaseException) -> None:
+        """Resolve one failed sub-batch: tell the predictor (the
+        router's ``record_failure`` hook feeds per-route circuit
+        breakers), then set the error on every future. The single
+        failure sink for every flush path — futures are never stranded
+        and never see a raw executor internal."""
+        hook = getattr(self.predictor, "record_failure", None)
+        if hook is not None:
+            try:
+                hook([p.request for p in chunk], error)
+            except Exception:
+                pass  # the hook must not strand futures or kill flushes
+        for pending in chunk:
+            pending.future.set_exception(error)

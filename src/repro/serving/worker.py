@@ -114,7 +114,17 @@ def predict_encoded(
     ``(hits, misses, evictions)`` when the spec enables caching (each
     worker keeps its own :class:`~repro.serving.cache.MemoryCache`;
     only the accounting travels back), else None.
+
+    ``spec`` may arrive wrapped in a fault rider exposing
+    ``apply_worker_side()`` (the chaos harness's
+    :class:`~repro.serving.chaos.ChaosOp`): the rider injects its fault
+    *inside this worker process* — so e.g. a kill really breaks the
+    pool — and unwraps to the real :class:`WorkerSpec`. Duck-typed, so
+    this module keeps zero chaos imports on the hot path.
     """
+    resolve = getattr(spec, "apply_worker_side", None)
+    if resolve is not None:
+        spec = resolve()
     predictor = worker_predictor(spec)
     cache = predictor.cache
     before = cache.counters() if cache is not None else None
